@@ -1,0 +1,103 @@
+// Command cypher-shell is an interactive shell over the embedded Cypher
+// engine, handy for exploring its semantics and for reproducing the
+// paper's example queries by hand.
+//
+// Usage:
+//
+//	cypher-shell                 # empty database
+//	cypher-shell -example        # preloaded with the Figure 2 movie graph
+//	cypher-shell -random 7       # preloaded with a random graph (seed 7)
+//	echo 'MATCH (n) RETURN n.name' | cypher-shell -example
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"gqs"
+	"gqs/internal/graph"
+)
+
+func main() {
+	var (
+		example    = flag.Bool("example", false, "preload the movie example graph")
+		randomSeed = flag.Int64("random", 0, "preload a random graph generated with this seed")
+	)
+	flag.Parse()
+
+	db := gqs.NewDB()
+	if *example {
+		gqs.LoadExample(db)
+		fmt.Println("loaded the movie example graph (2 users, 2 movies, 3 LIKE relationships)")
+	}
+	if *randomSeed != 0 {
+		r := rand.New(rand.NewSource(*randomSeed))
+		g, _ := graph.Generate(r, graph.GenConfig{MaxNodes: 10, MaxRels: 30})
+		if _, err := db.Execute(g.ToCypher()); err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded a random graph: %d nodes, %d relationships\n", g.NumNodes(), g.NumRels())
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminalHint()
+	if interactive {
+		fmt.Println(`type Cypher queries, ";" optional; "quit" to exit`)
+	}
+	for {
+		if interactive {
+			fmt.Print("cypher> ")
+		}
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		switch strings.ToLower(strings.TrimSuffix(line, ";")) {
+		case "":
+			continue
+		case "quit", "exit":
+			return
+		}
+		res, err := db.Execute(line)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func printResult(r *gqs.Result) {
+	if len(r.Columns) == 0 {
+		fmt.Println("(no output)")
+		return
+	}
+	fmt.Println(strings.Join(r.Columns, " | "))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows)\n", r.Len())
+}
+
+// isTerminalHint is a cheap stdin-is-a-pipe heuristic without syscalls:
+// when NO_PROMPT is set, or stat reports a pipe, prompts are suppressed.
+func isTerminalHint() bool {
+	if os.Getenv("NO_PROMPT") != "" {
+		return false
+	}
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return true
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,119 @@
+// Command gqs-bench regenerates the tables and figures of the paper's
+// evaluation section against the simulated GDBs.
+//
+// Usage:
+//
+//	gqs-bench -exp all
+//	gqs-bench -exp table5 -n 10000
+//	gqs-bench -exp table6 -rounds 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gqs/internal/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: table2, table3, table4, table5, table6, fig10..fig15, fig18, replay, falsealarms, ablation, or all")
+		seed       = flag.Int64("seed", 1, "random seed")
+		iterations = flag.Int("iterations", 60, "GQS campaign iterations per GDB (table3/fig10-15)")
+		n          = flag.Int("n", 2000, "queries per tester for table5 (paper: 10000)")
+		rounds     = flag.Int("rounds", 400, "oracle rounds per tester per GDB for table6/fig18")
+	)
+	flag.Parse()
+	w := os.Stdout
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table2") {
+		experiments.Table2(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+
+	var campaign *experiments.Campaign
+	needCampaign := want("table3") || want("table4") || want("replay") ||
+		want("fig10") || want("fig11") || want("fig12") || want("fig13") ||
+		want("fig14") || want("fig15")
+	if needCampaign {
+		cfg := experiments.DefaultCampaignConfig()
+		cfg.Seed = *seed
+		cfg.Iterations = *iterations
+		if want("table3") {
+			campaign = experiments.Table3(w, cfg)
+			fmt.Fprintln(w)
+		} else {
+			campaign = experiments.RunGQSCampaign(cfg)
+		}
+		ran = true
+	}
+	if want("table4") {
+		experiments.Table4(w, campaign)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if want("replay") || want("table4") {
+		experiments.OracleReplay(w, campaign)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if want("table5") {
+		experiments.Table5(w, *n, *seed)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	var t6 map[string]map[string]*experiments.TesterCampaign
+	if want("table6") || want("fig18") {
+		t6 = experiments.Table6(w, *rounds, *seed)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if want("fig10") {
+		experiments.Fig10(w, campaign)
+		fmt.Fprintln(w)
+	}
+	if want("fig11") {
+		experiments.Fig11(w, campaign)
+		fmt.Fprintln(w)
+	}
+	if want("fig12") {
+		experiments.Fig12(w, campaign)
+		fmt.Fprintln(w)
+	}
+	if want("fig13") {
+		experiments.Fig13(w, campaign)
+		fmt.Fprintln(w)
+	}
+	if want("fig14") {
+		experiments.Fig14(w, campaign)
+		fmt.Fprintln(w)
+	}
+	if want("fig15") {
+		experiments.Fig15(w, campaign)
+		fmt.Fprintln(w)
+	}
+	if want("fig18") {
+		experiments.Fig18(w, t6, *rounds)
+		fmt.Fprintln(w)
+	}
+	if want("ablation") {
+		experiments.Ablation(w, 10, *seed)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if want("falsealarms") {
+		experiments.FalseAlarms(w, *rounds, *seed)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if !ran && !strings.HasPrefix(*exp, "fig") {
+		fmt.Fprintf(os.Stderr, "gqs-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

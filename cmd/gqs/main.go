@@ -1,0 +1,112 @@
+// Command gqs is the GQS testing tool: it fuzzes a (simulated) graph
+// database with ground-truth-synthesized Cypher queries and reports every
+// discrepancy, reproducing the workflow of Figure 3 of the paper.
+//
+// Usage:
+//
+//	gqs -gdb falkordb -iterations 50 -seed 7
+//	gqs -gdb all -iterations 30 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gqs/internal/core"
+	"gqs/internal/gdb"
+	"gqs/internal/graph"
+)
+
+func main() {
+	var (
+		gdbName    = flag.String("gdb", "all", "GDB under test: neo4j, memgraph, kuzu, falkordb, reference, or all")
+		seed       = flag.Int64("seed", 1, "random seed (campaigns are deterministic per seed)")
+		iterations = flag.Int("iterations", 30, "workflow iterations (one generated graph each)")
+		maxNodes   = flag.Int("max-nodes", 13, "maximum nodes per generated graph")
+		maxRels    = flag.Int("max-rels", 60, "maximum relationships per generated graph")
+		maxSteps   = flag.Int("max-steps", 9, "maximum synthesis steps per query")
+		resultSet  = flag.Int("max-result-set", 6, "maximum expected-result-set size")
+		verbose    = flag.Bool("v", false, "print every failing query")
+		reportDir  = flag.String("reports", "", "directory to write reproducible bug reports into (one .md per distinct bug)")
+	)
+	flag.Parse()
+	if *reportDir != "" {
+		if err := os.MkdirAll(*reportDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "gqs: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	names := []string{*gdbName}
+	if *gdbName == "all" {
+		names = []string{"neo4j", "memgraph", "kuzu", "falkordb"}
+	}
+	exit := 0
+	for _, name := range names {
+		if err := run(name, *seed, *iterations, *maxNodes, *maxRels, *maxSteps, *resultSet, *verbose, *reportDir); err != nil {
+			fmt.Fprintf(os.Stderr, "gqs: %s: %v\n", name, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func run(name string, seed int64, iterations, maxNodes, maxRels, maxSteps, resultSet int, verbose bool, reportDir string) error {
+	sim, err := gdb.ByName(name)
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+
+	cfg := core.DefaultRunnerConfig()
+	cfg.Seed = seed
+	cfg.Graph = graph.GenConfig{MaxNodes: maxNodes, MaxRels: maxRels}
+	cfg.Synth.MaxSteps = maxSteps
+	cfg.Synth.Plan.MaxResultSet = resultSet
+
+	fmt.Printf("=== testing %s (seed %d, %d iterations) ===\n", name, seed, iterations)
+	found := map[string]bool{}
+	rn := core.NewRunner(sim, cfg)
+	stats, err := rn.Run(iterations, func(tc *core.TestCase) {
+		if tc.Verdict != core.VerdictLogicBug && tc.Verdict != core.VerdictErrorBug {
+			return
+		}
+		bug := sim.TriggeredBug()
+		tag := "UNATTRIBUTED"
+		fresh := true
+		if bug != nil {
+			tag = bug.ID
+			fresh = !found[bug.ID]
+			found[bug.ID] = true
+		}
+		if fresh && reportDir != "" && bug != nil {
+			path := reportDir + "/" + name + "-" + bug.ID + ".md"
+			if werr := os.WriteFile(path, []byte(tc.Report(name)), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "gqs: write report: %v\n", werr)
+			}
+		}
+		if !fresh && !verbose {
+			return
+		}
+		fmt.Printf("[%s] %s (query #%d, %d steps)\n", tc.Verdict, tag, tc.Seq, tc.Steps)
+		if bug != nil {
+			fmt.Printf("  %s\n", bug.Description)
+		}
+		if verbose {
+			fmt.Printf("  query: %s\n", tc.Query)
+			if tc.Verdict == core.VerdictLogicBug {
+				fmt.Printf("  expected: %v\n  actual:   %v\n", tc.Expected.Canonical(), tc.Actual.Canonical())
+			} else {
+				fmt.Printf("  error: %v\n", tc.Err)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d queries, %d passed, %d logic-bug reports, %d error reports, %d skipped; %d distinct bugs; %.1fs\n",
+		name, stats.Queries, stats.Passes, stats.LogicBugs, stats.ErrorBugs, stats.Skips,
+		len(found), stats.Elapsed.Seconds())
+	return nil
+}

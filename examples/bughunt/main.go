@@ -1,0 +1,50 @@
+// Bughunt: the paper's headline use case. Run the GQS tester against a
+// (simulated) graph database and report the logic bugs it finds, each
+// with the synthesized query, the ground-truth expected result, and what
+// the database actually returned.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gqs"
+)
+
+func main() {
+	target := "falkordb"
+	if len(os.Args) > 1 {
+		target = os.Args[1]
+	}
+	sim, err := gqs.OpenSim(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer sim.Close()
+
+	fmt.Printf("hunting logic bugs in %s...\n\n", target)
+	tester := gqs.NewTester(sim, gqs.WithSeed(2025), gqs.WithGraphSize(12, 50))
+
+	shown := map[string]bool{}
+	stats, err := tester.Run(20, func(tc *gqs.TestCase) {
+		if tc.Verdict != gqs.VerdictLogicBug {
+			return
+		}
+		bug := sim.TriggeredBug()
+		if bug == nil || shown[bug.ID] {
+			return
+		}
+		shown[bug.ID] = true
+		fmt.Printf("=== %s: %s\n", bug.ID, bug.Description)
+		fmt.Printf("query (%d synthesis steps):\n  %s\n", tc.Steps, tc.Query)
+		fmt.Printf("expected: %v\n", tc.Expected.Canonical())
+		fmt.Printf("actual:   %v\n\n", tc.Actual.Canonical())
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("campaign: %d queries, %d passed, %d logic-bug reports, %d distinct logic bugs shown\n",
+		stats.Queries, stats.Passes, stats.LogicBugs, len(shown))
+}

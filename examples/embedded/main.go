@@ -1,0 +1,84 @@
+// Embedded: use the engine as an embeddable graph database for a
+// recommender-style workload — the application domain the paper's
+// introduction motivates (social networks and recommendation).
+//
+// The example builds a small social graph with write clauses, maintains
+// it with SET/MERGE/DELETE, and answers recommendation queries with
+// multi-hop patterns and aggregation.
+package main
+
+import (
+	"fmt"
+
+	"gqs"
+)
+
+func main() {
+	db := gqs.NewDB()
+
+	// Build the social graph.
+	db.MustExecute(`CREATE
+		(ann:PERSON {name: 'Ann', city: 'Zurich'}),
+		(ben:PERSON {name: 'Ben', city: 'Zurich'}),
+		(eva:PERSON {name: 'Eva', city: 'Bern'}),
+		(tom:PERSON {name: 'Tom', city: 'Basel'}),
+		(ann)-[:FOLLOWS {since: 2019}]->(ben),
+		(ben)-[:FOLLOWS {since: 2020}]->(eva),
+		(ann)-[:FOLLOWS {since: 2021}]->(eva),
+		(eva)-[:FOLLOWS {since: 2022}]->(tom)`)
+
+	// Products and purchases arrive incrementally; MERGE keeps them
+	// idempotent.
+	for _, purchase := range []struct {
+		person, product string
+		stars           int
+	}{
+		{"Ben", "coffee grinder", 5},
+		{"Eva", "coffee grinder", 4},
+		{"Eva", "espresso cups", 5},
+		{"Tom", "espresso cups", 3},
+		{"Tom", "drip kettle", 5},
+	} {
+		db.MustExecute(fmt.Sprintf(`MERGE (pr:PRODUCT {name: '%s'})`, purchase.product))
+		db.MustExecute(fmt.Sprintf(`
+			MATCH (p:PERSON {name: '%s'}), (pr:PRODUCT {name: '%s'})
+			CREATE (p)-[:BOUGHT {stars: %d}]->(pr)`,
+			purchase.person, purchase.product, purchase.stars))
+	}
+
+	// Recommendation: products that people Ann follows (directly or one
+	// hop away) rated 4+, which Ann has not bought.
+	res := db.MustExecute(`
+		MATCH (ann:PERSON {name: 'Ann'})-[:FOLLOWS]->()-[:FOLLOWS]-(friend:PERSON)
+		MATCH (friend)-[b:BOUGHT]->(pr:PRODUCT)
+		WHERE b.stars >= 4
+		OPTIONAL MATCH (ann)-[own:BOUGHT]->(pr)
+		WITH pr, own, avg(b.stars) AS score, collect(friend.name) AS raters
+		WHERE own IS NULL
+		RETURN pr.name AS product, score, raters
+		ORDER BY score DESC`)
+	fmt.Println("recommendations for Ann:")
+	for i := 0; i < res.Len(); i++ {
+		row := res.RowMap(i)
+		fmt.Printf("  %-15s score %.1f from %v\n",
+			row["product"].AsString(), row["score"].AsFloat(), row["raters"])
+	}
+
+	// Graph maintenance: Tom deletes his account (DETACH DELETE), and a
+	// label marks power buyers.
+	db.MustExecute(`MATCH (p:PERSON) WHERE p.name = 'Tom' DETACH DELETE p`)
+	db.MustExecute(`MATCH (p:PERSON)-[b:BOUGHT]->() WITH p, count(*) AS n WHERE n >= 2 SET p:POWER_BUYER`)
+
+	res = db.MustExecute(`MATCH (p:POWER_BUYER) RETURN p.name AS name`)
+	fmt.Println("\npower buyers after cleanup:")
+	for i := 0; i < res.Len(); i++ {
+		fmt.Printf("  %s\n", res.RowMap(i)["name"].AsString())
+	}
+
+	// Database introspection via CALL.
+	res = db.MustExecute(`CALL db.labels()`)
+	fmt.Println("\nlabels in the store:")
+	for i := 0; i < res.Len(); i++ {
+		fmt.Printf("  %s\n", res.Rows[i][0].AsString())
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: open the embedded Cypher database, load the paper's movie
+// example (Figure 2), and run both of the figure's queries.
+package main
+
+import (
+	"fmt"
+
+	"gqs"
+)
+
+func main() {
+	db := gqs.NewDB()
+	gqs.LoadExample(db)
+
+	// The simple MATCH-RETURN form of Figure 2.
+	fmt.Println("movies in the database:")
+	res := db.MustExecute(`MATCH (m:MOVIE) RETURN m.name AS name, m.year AS year ORDER BY year`)
+	for i := 0; i < res.Len(); i++ {
+		row := res.RowMap(i)
+		fmt.Printf("  %s (%v)\n", row["name"].AsString(), row["year"])
+	}
+
+	// The complex form: WHERE, UNWIND, WITH DISTINCT, RETURN.
+	fmt.Println("\ngenres of movies Alice rated at least 8 (Figure 2's second query):")
+	res = db.MustExecute(`MATCH (p :USER)-[r :LIKE]->(m :MOVIE)
+		WHERE p.name = 'Alice' AND r.rating >= 8
+		UNWIND m.genre AS LikedGenre
+		WITH DISTINCT m.name AS MovieName, LikedGenre
+		RETURN MovieName, LikedGenre`)
+	for i := 0; i < res.Len(); i++ {
+		row := res.RowMap(i)
+		fmt.Printf("  %s: %s\n", row["MovieName"].AsString(), row["LikedGenre"].AsString())
+	}
+
+	// Aggregation.
+	res = db.MustExecute(`MATCH (p:USER)-[l:LIKE]->() RETURN p.name AS user, avg(l.rating) AS avgRating ORDER BY user`)
+	fmt.Println("\naverage ratings:")
+	for i := 0; i < res.Len(); i++ {
+		row := res.RowMap(i)
+		fmt.Printf("  %s: %.1f\n", row["user"].AsString(), row["avgRating"].AsFloat())
+	}
+}

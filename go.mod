@@ -1,0 +1,3 @@
+module gqs
+
+go 1.22

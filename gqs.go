@@ -1,0 +1,163 @@
+// Package gqs is the public API of this repository: a Go reproduction of
+// "Testing Graph Databases with Synthesized Queries" (SIGMOD 2025).
+//
+// The package offers three entry points:
+//
+//   - An embeddable in-memory Cypher graph database: NewDB. It supports
+//     the openCypher 9 data-retrieval clauses (MATCH, OPTIONAL MATCH,
+//     UNWIND, WITH, RETURN, UNION, CALL and the WHERE/ORDER BY/SKIP/LIMIT
+//     subclauses) plus the update clauses (CREATE, SET, MERGE, DELETE,
+//     DETACH DELETE, REMOVE), 61 functions, and aggregation.
+//
+//   - The GQS tester: NewTester runs ground-truth-based logic-bug testing
+//     against any Target — one of the bundled simulated GDBs (OpenSim) or
+//     a user-provided connector.
+//
+//   - The experiment harness (internal/experiments, driven by the
+//     cmd/gqs-bench command), which regenerates the paper's tables and
+//     figures against the simulated GDBs.
+//
+// See README.md for a walkthrough and DESIGN.md for the architecture.
+package gqs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gqs/internal/core"
+	"gqs/internal/engine"
+	"gqs/internal/gdb"
+	"gqs/internal/graph"
+	"gqs/internal/value"
+)
+
+// DB is an embeddable in-memory Cypher graph database.
+type DB struct {
+	eng *engine.Engine
+}
+
+// NewDB opens an empty in-memory database with reference Cypher
+// semantics.
+func NewDB() *DB {
+	return &DB{eng: engine.NewReference()}
+}
+
+// Execute runs one Cypher query and returns its result.
+func (db *DB) Execute(query string) (*Result, error) {
+	return db.eng.Execute(query)
+}
+
+// MustExecute runs a query and panics on error; intended for examples and
+// fixtures.
+func (db *DB) MustExecute(query string) *Result {
+	r, err := db.eng.Execute(query)
+	if err != nil {
+		panic(fmt.Sprintf("gqs: %v", err))
+	}
+	return r
+}
+
+// Result is a query result: named columns and rows of Cypher values.
+type Result = engine.Result
+
+// Value is a Cypher runtime value.
+type Value = value.Value
+
+// Target is the connector interface the tester drives: any Cypher
+// database exposing reset-and-execute semantics can be tested.
+type Target = core.Target
+
+// Stats summarizes a testing campaign.
+type Stats = core.Stats
+
+// TestCase is one synthesized query with its verdict.
+type TestCase = core.TestCase
+
+// Verdict values re-exported for switch statements on TestCase.Verdict.
+const (
+	VerdictPass     = core.VerdictPass
+	VerdictLogicBug = core.VerdictLogicBug
+	VerdictErrorBug = core.VerdictErrorBug
+	VerdictSkip     = core.VerdictSkip
+)
+
+// OpenSim opens one of the bundled simulated GDBs: "neo4j", "memgraph",
+// "kuzu", "falkordb" (each the reference engine plus that system's
+// dialect quirks and injected-fault catalog), or "reference" (no faults).
+func OpenSim(name string) (*gdb.Sim, error) { return gdb.ByName(name) }
+
+// Tester runs the GQS workflow — generate graph, select ground truth,
+// synthesize query, validate — against a target.
+type Tester struct {
+	runner *core.Runner
+}
+
+// TesterOption customizes a Tester.
+type TesterOption func(*core.RunnerConfig)
+
+// WithSeed fixes the random seed (campaigns are fully deterministic per
+// seed).
+func WithSeed(seed int64) TesterOption {
+	return func(c *core.RunnerConfig) { c.Seed = seed }
+}
+
+// WithGraphSize bounds the generated graphs.
+func WithGraphSize(maxNodes, maxRels int) TesterOption {
+	return func(c *core.RunnerConfig) {
+		c.Graph.MaxNodes = maxNodes
+		c.Graph.MaxRels = maxRels
+	}
+}
+
+// WithMaxSteps bounds the synthesis steps per query (the paper uses up
+// to 9).
+func WithMaxSteps(steps int) TesterOption {
+	return func(c *core.RunnerConfig) { c.Synth.MaxSteps = steps }
+}
+
+// WithQueriesPerGraph sets how many ground truths are drawn per graph.
+func WithQueriesPerGraph(n int) TesterOption {
+	return func(c *core.RunnerConfig) { c.QueriesPerGraph = n }
+}
+
+// NewTester creates a tester for the target.
+func NewTester(target Target, opts ...TesterOption) *Tester {
+	cfg := core.DefaultRunnerConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Tester{runner: core.NewRunner(target, cfg)}
+}
+
+// Run performs n full workflow iterations (one generated graph each),
+// invoking report for every synthesized test case.
+func (t *Tester) Run(n int, report func(*TestCase)) (Stats, error) {
+	return t.runner.Run(n, report)
+}
+
+// Synthesize builds a single ground-truth/query pair over a given graph,
+// exposing the synthesizer directly for tooling.
+func Synthesize(seed int64, maxNodes, maxRels int) (query string, expected *Result, err error) {
+	r := rand.New(rand.NewSource(seed))
+	g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: maxNodes, MaxRels: maxRels})
+	syn := core.NewSynthesizer(r, g, schema, core.DefaultConfig())
+	gt := core.SelectGroundTruth(r, g, 6)
+	sq, err := syn.Synthesize(gt)
+	if err != nil {
+		return "", nil, err
+	}
+	return sq.Text, sq.Expected, nil
+}
+
+// LoadExample loads the Figure 2 movie graph into a database; used by the
+// quickstart example and tests.
+func LoadExample(db *DB) {
+	db.MustExecute(`CREATE
+		(alice:USER {name: 'Alice'}),
+		(bob:USER {name: 'Bob'}),
+		(heat:MOVIE {name: 'Heat', year: 1995, genre: ['Drama', 'Crime']}),
+		(up:MOVIE {name: 'Up', year: 2009, genre: ['Animation']}),
+		(alice)-[:LIKE {rating: 10}]->(heat),
+		(alice)-[:LIKE {rating: 7}]->(up),
+		(bob)-[:LIKE {rating: 9}]->(up)`)
+}

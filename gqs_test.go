@@ -1,0 +1,82 @@
+package gqs
+
+import (
+	"testing"
+)
+
+func TestDBQuickstart(t *testing.T) {
+	db := NewDB()
+	LoadExample(db)
+	r := db.MustExecute(`MATCH (p:USER)-[l:LIKE]->(m:MOVIE)
+		WHERE p.name = 'Alice' AND l.rating >= 8
+		RETURN m.name AS name, m.year AS year`)
+	if r.Len() != 1 || r.Rows[0][0].AsString() != "Heat" {
+		t.Fatalf("quickstart query: %v", r)
+	}
+	if _, err := db.Execute(`THIS IS NOT CYPHER`); err == nil {
+		t.Error("bad query must error")
+	}
+}
+
+func TestMustExecutePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExecute must panic on error")
+		}
+	}()
+	NewDB().MustExecute(`(`)
+}
+
+func TestOpenSim(t *testing.T) {
+	for _, name := range []string{"neo4j", "memgraph", "kuzu", "falkordb", "reference"} {
+		if _, err := OpenSim(name); err != nil {
+			t.Errorf("OpenSim(%s): %v", name, err)
+		}
+	}
+	if _, err := OpenSim("sqlite"); err == nil {
+		t.Error("unknown sim must error")
+	}
+}
+
+func TestTesterEndToEnd(t *testing.T) {
+	sim, err := OpenSim("falkordb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester := NewTester(sim,
+		WithSeed(3),
+		WithGraphSize(10, 30),
+		WithMaxSteps(7),
+		WithQueriesPerGraph(5),
+	)
+	bugs := 0
+	stats, err := tester.Run(10, func(tc *TestCase) {
+		if tc.Verdict == VerdictLogicBug || tc.Verdict == VerdictErrorBug {
+			bugs++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries == 0 {
+		t.Fatal("no queries ran")
+	}
+	if bugs == 0 {
+		t.Error("the falkordb sim should yield bugs")
+	}
+}
+
+func TestSynthesize(t *testing.T) {
+	q, expected, err := Synthesize(42, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == "" || expected == nil || len(expected.Columns) == 0 {
+		t.Fatalf("Synthesize returned %q / %v", q, expected)
+	}
+	// Determinism.
+	q2, _, _ := Synthesize(42, 10, 30)
+	if q != q2 {
+		t.Error("Synthesize must be deterministic per seed")
+	}
+}

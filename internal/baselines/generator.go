@@ -1,0 +1,324 @@
+// Package baselines reimplements the five state-of-the-art testers the
+// paper compares against (§5.4): the differential tester GDsmith and the
+// metamorphic testers GDBMeter (ternary-logic partitioning), Gamera
+// (graph-aware relations), GQT (injective/surjective transformations),
+// and GRev (equivalent query rewriting). Each tester couples a query
+// generator — tuned to the complexity profile Table 5 reports for it —
+// with its published oracle.
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"gqs/internal/graph"
+)
+
+// Knobs tunes the shared random query generator to a tester's complexity
+// profile (Table 5).
+type Knobs struct {
+	MatchClauses [2]int // min,max MATCH clauses
+	Patterns     [2]int // pattern parts per MATCH
+	ChainLen     [2]int // relationships per pattern part
+	PredDepth    [2]int // extra nesting wrapped around predicates
+	WithChain    [2]int // number of WITH stages
+	UnwindPct    int    // chance of an UNWIND stage
+	UnwindFirst  bool   // UNWIND may precede the first MATCH
+	OrderByPct   int
+	DistinctPct  int
+	CallPct      int
+	AnchorPct    int // chance of pinning a pattern element by id (keeps results small)
+	MaxPreds     int // upper bound on WHERE conjuncts per MATCH (default 2)
+}
+
+// Gen is a reusable random Cypher query generator over a generated graph.
+// Unlike GQS it has no ground truth: it only promises syntactic validity
+// and (mostly) executable queries.
+type Gen struct {
+	r      *rand.Rand
+	g      *graph.Graph
+	schema *graph.Schema
+	knobs  Knobs
+	seq    int
+}
+
+// NewGen creates a generator for the graph.
+func NewGen(r *rand.Rand, g *graph.Graph, schema *graph.Schema, knobs Knobs) *Gen {
+	return &Gen{r: r, g: g, schema: schema, knobs: knobs}
+}
+
+func (g *Gen) pct(p int) bool { return g.r.Intn(100) < p }
+
+func (g *Gen) span(b [2]int) int {
+	if b[1] <= b[0] {
+		return b[0]
+	}
+	return b[0] + g.r.Intn(b[1]-b[0]+1)
+}
+
+// Query generates one query and the variables it keeps in scope.
+func (g *Gen) Query() string {
+	g.seq = 0
+	var sb strings.Builder
+	var scope []scopedVar
+
+	if g.knobs.UnwindFirst && g.pct(g.knobs.UnwindPct) {
+		scope = append(scope, g.unwind(&sb, scope))
+	}
+	if g.pct(g.knobs.CallPct) {
+		sb.WriteString("CALL db.labels() YIELD label ")
+		scope = append(scope, scopedVar{name: "label", kind: varAlias})
+	}
+	nMatch := g.span(g.knobs.MatchClauses)
+	if nMatch < 1 {
+		nMatch = 1
+	}
+	for i := 0; i < nMatch; i++ {
+		scope = g.match(&sb, scope)
+		if i < nMatch-1 && g.pct(g.knobs.UnwindPct) {
+			scope = append(scope, g.unwind(&sb, scope))
+		}
+		if i < nMatch-1 && g.span(g.knobs.WithChain) > 0 {
+			scope = g.with(&sb, scope)
+		}
+	}
+	g.returns(&sb, scope)
+	return sb.String()
+}
+
+type varKind int
+
+const (
+	varNode varKind = iota
+	varRel
+	varAlias
+)
+
+type scopedVar struct {
+	name string
+	kind varKind
+}
+
+func (g *Gen) fresh(prefix string) string {
+	g.seq++
+	return fmt.Sprintf("%s%d", prefix, g.seq)
+}
+
+// match emits one MATCH clause with the knob-driven pattern count.
+func (g *Gen) match(sb *strings.Builder, scope []scopedVar) []scopedVar {
+	optional := g.pct(10)
+	if optional {
+		sb.WriteString("OPTIONAL ")
+	}
+	sb.WriteString("MATCH ")
+	n := g.span(g.knobs.Patterns)
+	if n < 1 {
+		n = 1
+	}
+	var newVars []scopedVar
+	for p := 0; p < n; p++ {
+		if p > 0 {
+			sb.WriteString(", ")
+		}
+		newVars = append(newVars, g.pattern(sb, scope)...)
+	}
+	scope = append(scope, newVars...)
+	if preds := g.predicates(scope); len(preds) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(preds, " AND "))
+	}
+	sb.WriteString(" ")
+	return scope
+}
+
+// pattern emits one chain, walking the real graph so that patterns can
+// match.
+func (g *Gen) pattern(sb *strings.Builder, scope []scopedVar) []scopedVar {
+	ids := g.g.NodeIDs()
+	if len(ids) == 0 {
+		sb.WriteString("()")
+		return nil
+	}
+	cur := ids[g.r.Intn(len(ids))]
+	var out []scopedVar
+	writeNode := func(id graph.ID) {
+		v := g.fresh("n")
+		out = append(out, scopedVar{name: v, kind: varNode})
+		node := g.g.Node(id)
+		sb.WriteString("(")
+		sb.WriteString(v)
+		if len(node.Labels) > 0 && g.pct(50) {
+			sb.WriteString(":")
+			sb.WriteString(node.Labels[g.r.Intn(len(node.Labels))])
+		}
+		if g.pct(g.knobs.AnchorPct) {
+			fmt.Fprintf(sb, " {id: %d}", id)
+		}
+		sb.WriteString(")")
+	}
+	writeNode(cur)
+	hops := g.span(g.knobs.ChainLen)
+	for h := 0; h < hops; h++ {
+		inc := g.g.Incident(cur)
+		if len(inc) == 0 {
+			break
+		}
+		rid := inc[g.r.Intn(len(inc))]
+		rel := g.g.Rel(rid)
+		rv := g.fresh("r")
+		out = append(out, scopedVar{name: rv, kind: varRel})
+		next := rel.End
+		forward := true
+		if rel.End == cur && rel.Start != cur {
+			next = rel.Start
+			forward = false
+		}
+		switch {
+		case g.pct(25): // undirected
+			fmt.Fprintf(sb, "-[%s]-", rv)
+		case forward:
+			fmt.Fprintf(sb, "-[%s:%s]->", rv, rel.Type)
+		default:
+			fmt.Fprintf(sb, "<-[%s:%s]-", rv, rel.Type)
+		}
+		cur = next
+		writeNode(cur)
+	}
+	return out
+}
+
+// predicates emits 0-3 random predicates over in-scope variables.
+func (g *Gen) predicates(scope []scopedVar) []string {
+	var out []string
+	max := g.knobs.MaxPreds
+	if max == 0 {
+		max = 2
+	}
+	n := g.r.Intn(max + 1)
+	for i := 0; i < n && len(scope) > 0; i++ {
+		v := scope[g.r.Intn(len(scope))]
+		out = append(out, g.predicate(v))
+	}
+	return out
+}
+
+func (g *Gen) predicate(v scopedVar) string {
+	access := v.name
+	if v.kind != varAlias {
+		access = fmt.Sprintf("%s.k%d", v.name, g.r.Intn(20))
+	}
+	depth := g.span(g.knobs.PredDepth)
+	expr := access
+	for d := 0; d < depth; d++ {
+		switch g.r.Intn(3) {
+		case 0:
+			expr = fmt.Sprintf("coalesce(%s, %d)", expr, g.r.Intn(1000))
+		case 1:
+			expr = fmt.Sprintf("toString(%s)", expr)
+		default:
+			expr = fmt.Sprintf("(%s)", expr)
+		}
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("%s IS NOT NULL", expr)
+	case 1:
+		return fmt.Sprintf("%s IS NULL", expr)
+	case 2:
+		return fmt.Sprintf("toString(%s) <> '%s'", expr, randWord(g.r))
+	case 3:
+		return fmt.Sprintf("%s = %s", expr, expr)
+	default:
+		return fmt.Sprintf("toString(%s) STARTS WITH '%s'", expr, randWord(g.r)[:1])
+	}
+}
+
+func (g *Gen) unwind(sb *strings.Builder, scope []scopedVar) scopedVar {
+	alias := g.fresh("u")
+	var items []string
+	for i := 0; i < 1+g.r.Intn(3); i++ {
+		if len(scope) > 0 && g.pct(40) {
+			v := scope[g.r.Intn(len(scope))]
+			if v.kind == varAlias {
+				items = append(items, v.name)
+			} else {
+				items = append(items, fmt.Sprintf("%s.k%d", v.name, g.r.Intn(20)))
+			}
+			continue
+		}
+		items = append(items, fmt.Sprintf("%d", int32(g.r.Uint32())))
+	}
+	fmt.Fprintf(sb, "UNWIND [%s] AS %s ", strings.Join(items, ", "), alias)
+	return scopedVar{name: alias, kind: varAlias}
+}
+
+// with emits a WITH stage carrying a random non-empty subset of scope.
+func (g *Gen) with(sb *strings.Builder, scope []scopedVar) []scopedVar {
+	if len(scope) == 0 {
+		return scope
+	}
+	kept := scope[:0:0]
+	for _, v := range scope {
+		if g.pct(70) {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		kept = append(kept, scope[0])
+	}
+	sb.WriteString("WITH ")
+	if g.pct(g.knobs.DistinctPct) {
+		sb.WriteString("DISTINCT ")
+	}
+	names := make([]string, len(kept))
+	for i, v := range kept {
+		names[i] = v.name
+	}
+	sb.WriteString(strings.Join(names, ", "))
+	sb.WriteString(" ")
+	return kept
+}
+
+// returns emits the final RETURN with property projections.
+func (g *Gen) returns(sb *strings.Builder, scope []scopedVar) {
+	sb.WriteString("RETURN ")
+	if g.pct(g.knobs.DistinctPct) {
+		sb.WriteString("DISTINCT ")
+	}
+	var items []string
+	var cols []string
+	n := 1 + g.r.Intn(3)
+	for i := 0; i < n && i < len(scope); i++ {
+		v := scope[g.r.Intn(len(scope))]
+		col := fmt.Sprintf("c%d", i)
+		cols = append(cols, col)
+		if v.kind == varAlias {
+			items = append(items, fmt.Sprintf("%s AS %s", v.name, col))
+		} else {
+			items = append(items, fmt.Sprintf("%s.k%d AS %s", v.name, g.r.Intn(20), col))
+		}
+	}
+	if len(items) == 0 {
+		items = []string{"1 AS c0"}
+		cols = []string{"c0"}
+	}
+	sb.WriteString(strings.Join(items, ", "))
+	if g.pct(g.knobs.OrderByPct) {
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(cols[g.r.Intn(len(cols))])
+		if g.pct(50) {
+			sb.WriteString(" DESC")
+		}
+	}
+}
+
+const wordAlphabet = "abcdefghijklmnopqrstuvwxyz"
+
+func randWord(r *rand.Rand) string {
+	b := make([]byte, 3+r.Intn(5))
+	for i := range b {
+		b[i] = wordAlphabet[r.Intn(len(wordAlphabet))]
+	}
+	return string(b)
+}

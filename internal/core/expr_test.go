@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gqs/internal/cypher/ast"
+	"gqs/internal/eval"
+	"gqs/internal/graph"
+	"gqs/internal/value"
+)
+
+func newTestSynth(seed int64) (*Synthesizer, *rand.Rand) {
+	r := rand.New(rand.NewSource(seed))
+	g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 10, MaxRels: 40})
+	syn := NewSynthesizer(r, g, schema, DefaultConfig())
+	syn.plan = &Plan{ElemVar: map[elemRef]string{}}
+	syn.tracker = NewTracker(g)
+	syn.elemScope = map[string]int64{}
+	return syn, r
+}
+
+// TestComplexifyAccessInvariant checks Algorithm 2's contract: the nested
+// expression evaluates to the recorded value for the intended element and
+// to a different value for every competitor, at every nesting depth.
+func TestComplexifyAccessInvariant(t *testing.T) {
+	syn, r := newTestSynth(1)
+	mapFor := func(v value.Value) value.Value {
+		return value.Map(map[string]value.Value{"id": v})
+	}
+	for trial := 0; trial < 2000; trial++ {
+		intended := value.Int(int64(r.Intn(60)))
+		var comps []value.Value
+		for i := 0; i < r.Intn(5); i++ {
+			c := value.Int(int64(r.Intn(60)))
+			if !value.Equivalent(c, intended) {
+				comps = append(comps, c)
+			}
+		}
+		nested, v1 := syn.complexifyAccess("x", "id", intended, comps, 1+r.Intn(6))
+		got, err := eval.Eval(&eval.Ctx{Graph: syn.g, Env: map[string]value.Value{"x": mapFor(intended)}}, nested)
+		if err != nil {
+			t.Fatalf("trial %d: eval error %v on %s", trial, err, ast.ExprString(nested))
+		}
+		if !value.Equivalent(got, v1) {
+			t.Fatalf("trial %d: value drift: intended=%v expr=%s got=%v v1=%v",
+				trial, intended, ast.ExprString(nested), got, v1)
+		}
+		for _, c := range comps {
+			gc, err := eval.Eval(&eval.Ctx{Graph: syn.g, Env: map[string]value.Value{"x": mapFor(c)}}, nested)
+			if err == nil && value.Equivalent(gc, v1) {
+				t.Fatalf("trial %d: competitor %v not distinguished by %s", trial, c, ast.ExprString(nested))
+			}
+		}
+	}
+}
+
+// TestComplexifyStringProperty exercises Algorithm 2 over string-typed
+// properties.
+func TestComplexifyStringProperty(t *testing.T) {
+	syn, r := newTestSynth(2)
+	for trial := 0; trial < 500; trial++ {
+		intended := value.Str(randString(r, 3+r.Intn(6)))
+		comps := []value.Value{value.Str(randString(r, 3+r.Intn(6)))}
+		if value.Equivalent(comps[0], intended) {
+			continue
+		}
+		nested, v1 := syn.complexifyAccess("x", "id", intended, comps, 4)
+		got, err := syn.evalConst(nested, "x", wrapAccessValue("x", "id", intended))
+		if err != nil || !value.Equivalent(got, v1) {
+			t.Fatalf("trial %d: %v / %v vs %v (%s)", trial, err, got, v1, ast.ExprString(nested))
+		}
+	}
+}
+
+// TestTruePredicateHolds verifies that dependency predicates are true in
+// every symbolic row.
+func TestTruePredicateHolds(t *testing.T) {
+	syn, r := newTestSynth(3)
+	// Bind a couple of variables to real elements.
+	ids := syn.g.NodeIDs()
+	syn.elemScope["n0"] = ids[0]
+	syn.elemScope["n1"] = ids[1]
+	syn.tracker.Bind(map[string]value.Value{
+		"n0": value.Node(ids[0]),
+		"n1": value.Node(ids[1]),
+		"a0": value.Int(42),
+	})
+	for trial := 0; trial < 300; trial++ {
+		p := syn.truePredicate(1 + r.Intn(5))
+		ok, err := syn.tracker.HoldsEverywhere(p)
+		if err != nil || !ok {
+			t.Fatalf("trial %d: predicate %s does not hold (%v)", trial, ast.ExprString(p), err)
+		}
+	}
+}
+
+// TestRandomScalarExprEvaluates verifies generated expressions never fail
+// to evaluate in the current state.
+func TestRandomScalarExprEvaluates(t *testing.T) {
+	syn, r := newTestSynth(4)
+	ids := syn.g.NodeIDs()
+	syn.elemScope["n0"] = ids[0]
+	syn.tracker.Bind(map[string]value.Value{"n0": value.Node(ids[0])})
+	for trial := 0; trial < 500; trial++ {
+		e := syn.randomScalarExpr(1 + r.Intn(6))
+		if err := syn.tracker.Check(e); err != nil {
+			t.Fatalf("trial %d: %s: %v", trial, ast.ExprString(e), err)
+		}
+	}
+}
+
+// TestPinPredicateSelectsIntended verifies that a rendered pin predicate
+// is true for the intended element and false for all competitors.
+func TestPinPredicateSelectsIntended(t *testing.T) {
+	syn, r := newTestSynth(5)
+	rels := syn.g.RelIDs()
+	for trial := 0; trial < 200; trial++ {
+		intended := rels[r.Intn(len(rels))]
+		var comps []elemRef
+		for _, id := range rels {
+			if id != intended && r.Intn(2) == 0 {
+				comps = append(comps, elemRef{id: id, isRel: true})
+			}
+		}
+		p := pin{varName: "r9", elem: elemRef{id: intended, isRel: true}, competitors: comps}
+		pred := syn.pinPredicate(p, 5)
+		check := func(id int64) value.Tri {
+			tr, err := eval.EvalPredicate(&eval.Ctx{
+				Graph: syn.g,
+				Env:   map[string]value.Value{"r9": value.Rel(id)},
+			}, pred)
+			if err != nil {
+				t.Fatalf("trial %d: %v on %s", trial, err, ast.ExprString(pred))
+			}
+			return tr
+		}
+		if check(intended) != value.TriTrue {
+			t.Fatalf("trial %d: pin predicate false for intended: %s", trial, ast.ExprString(pred))
+		}
+		for _, c := range comps {
+			if check(c.id) == value.TriTrue {
+				t.Fatalf("trial %d: pin predicate true for competitor %d: %s", trial, c.id, ast.ExprString(pred))
+			}
+		}
+	}
+}

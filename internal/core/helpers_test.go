@@ -1,0 +1,34 @@
+package core
+
+import (
+	"gqs/internal/cypher/ast"
+	"gqs/internal/eval"
+	"gqs/internal/graph"
+	"gqs/internal/value"
+)
+
+// Thin aliases keeping the test bodies compact.
+
+type valueT = value.Value
+
+func intV(i int64) valueT         { return value.Int(i) }
+func strV(s string) valueT        { return value.Str(s) }
+func boolV(b bool) valueT         { return value.Bool(b) }
+func floatV(f float64) valueT     { return value.Float(f) }
+func listV(vs ...valueT) valueT   { return value.List(vs...) }
+func varE(name string) ast.Expr   { return ast.Var(name) }
+func astString(e ast.Expr) string { return ast.ExprString(e) }
+
+func equivalent(a, b valueT) bool { return value.Equivalent(a, b) }
+
+func listLit(xs ...int64) ast.Expr {
+	l := &ast.ListLit{}
+	for _, x := range xs {
+		l.Elems = append(l.Elems, ast.Lit(value.Int(x)))
+	}
+	return l
+}
+
+func evalBare(g *graph.Graph, e ast.Expr) (valueT, error) {
+	return eval.Eval(&eval.Ctx{Graph: g, Env: map[string]value.Value{}}, e)
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders the test case as a self-contained, reproducible bug
+// report. The paper highlights this as a practical advantage of
+// ground-truth testing (§7): unlike differential or metamorphic reports,
+// a GQS report names the faulty database, the exact graph and query, and
+// the expected result — everything a developer needs to reproduce.
+func (tc *TestCase) Report(targetName string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s report for %s (query #%d)\n\n", tc.Verdict, targetName, tc.Seq)
+	fmt.Fprintf(&sb, "Synthesized with %d steps.\n\n", tc.Steps)
+
+	if tc.Graph != nil {
+		fmt.Fprintf(&sb, "## Graph (%d nodes, %d relationships)\n\n```cypher\n%s\n```\n\n",
+			tc.Graph.NumNodes(), tc.Graph.NumRels(), tc.Graph.ToCypher())
+	}
+	fmt.Fprintf(&sb, "## Query\n\n```cypher\n%s\n```\n\n", tc.Query)
+
+	if tc.Expected != nil {
+		sb.WriteString("## Expected result (ground truth)\n\n```\n")
+		sb.WriteString(tc.Expected.String())
+		sb.WriteString("\n```\n\n")
+	}
+	switch {
+	case tc.Err != nil:
+		fmt.Fprintf(&sb, "## Actual behaviour\n\n```\n%v\n```\n", tc.Err)
+	case tc.Actual != nil:
+		sb.WriteString("## Actual result\n\n```\n")
+		sb.WriteString(tc.Actual.String())
+		sb.WriteString("\n```\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gqs/internal/engine"
+	"gqs/internal/graph"
+	"gqs/internal/value"
+)
+
+func TestReportContents(t *testing.T) {
+	g := graph.New()
+	n := g.NewNode("L0")
+	n.Props["k0"] = value.Int(5)
+	tc := &TestCase{
+		Seq:      7,
+		Query:    `MATCH (n:L0) RETURN n.k0 AS a0`,
+		Steps:    3,
+		Verdict:  VerdictLogicBug,
+		Expected: &engine.Result{Columns: []string{"a0"}, Rows: [][]value.Value{{value.Int(5)}}},
+		Actual:   &engine.Result{Columns: []string{"a0"}, Rows: [][]value.Value{{value.Int(6)}}},
+		Graph:    g,
+	}
+	rep := tc.Report("falkordb")
+	for _, want := range []string{
+		"logic-bug report for falkordb",
+		"3 steps",
+		"CREATE",
+		"MATCH (n:L0) RETURN n.k0 AS a0",
+		"Expected result",
+		"Actual result",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// Error reports render the error instead of a result table.
+	tc.Actual, tc.Err = nil, &engine.ErrResourceLimit{What: "x"}
+	tc.Verdict = VerdictErrorBug
+	rep = tc.Report("neo4j")
+	if !strings.Contains(rep, "Actual behaviour") || !strings.Contains(rep, "resource limit") {
+		t.Errorf("error report broken:\n%s", rep)
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"gqs/internal/engine"
+	"gqs/internal/graph"
+)
+
+// Target is the slice of the GDB-connector interface the runner needs
+// (the gdb package's connectors implement it).
+type Target interface {
+	Name() string
+	Reset(g *graph.Graph, schema *graph.Schema) error
+	Execute(query string) (*engine.Result, error)
+	RelUniqueness() bool
+	ProvidesDBLabels() bool
+}
+
+// Verdict classifies one executed test case.
+type Verdict int
+
+// Verdicts. VerdictSkip marks cases that are not evidence either way
+// (resource-limit aborts, synthesis failures).
+const (
+	VerdictPass Verdict = iota
+	VerdictLogicBug
+	VerdictErrorBug // crash / hang / unexpected exception
+	VerdictSkip
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictLogicBug:
+		return "logic-bug"
+	case VerdictErrorBug:
+		return "error-bug"
+	default:
+		return "skip"
+	}
+}
+
+// TestCase is one synthesized query and its outcome on the target.
+type TestCase struct {
+	Seq      int
+	Query    string
+	Steps    int
+	Expected *engine.Result
+	Actual   *engine.Result
+	Err      error
+	Verdict  Verdict
+	Elapsed  time.Duration
+	// Graph and Schema are the generated database the query ran against;
+	// the oracle-replay experiments (§5.4.3) re-execute the query on the
+	// same graph through other testers' oracles.
+	Graph  *graph.Graph
+	Schema *graph.Schema
+}
+
+// RunnerConfig configures the testing loop.
+type RunnerConfig struct {
+	Seed            int64
+	Graph           graph.GenConfig
+	Synth           Config
+	QueriesPerGraph int // ground truths drawn per generated graph
+	QueriesPerGT    int // queries synthesized per ground truth
+}
+
+// DefaultRunnerConfig mirrors §5.1.
+func DefaultRunnerConfig() RunnerConfig {
+	return RunnerConfig{
+		Seed:            1,
+		Graph:           graph.DefaultGenConfig(),
+		Synth:           DefaultConfig(),
+		QueriesPerGraph: 8,
+		QueriesPerGT:    2,
+	}
+}
+
+// Stats aggregates a campaign.
+type Stats struct {
+	Graphs    int
+	Queries   int
+	Passes    int
+	LogicBugs int
+	ErrorBugs int
+	Skips     int
+	Elapsed   time.Duration
+}
+
+// Runner drives the GQS workflow (Figure 3) against one target:
+// ① generate a graph, ② select ground truths, ③ synthesize queries,
+// ④ validate results, restarting the instance per graph.
+type Runner struct {
+	cfg    RunnerConfig
+	target Target
+	r      *rand.Rand
+	seq    int
+	stats  Stats
+}
+
+// NewRunner creates a runner for the target.
+func NewRunner(target Target, cfg RunnerConfig) *Runner {
+	if cfg.QueriesPerGraph <= 0 {
+		cfg.QueriesPerGraph = 8
+	}
+	if cfg.QueriesPerGT <= 0 {
+		cfg.QueriesPerGT = 1
+	}
+	return &Runner{cfg: cfg, target: target, r: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns the campaign statistics so far.
+func (rn *Runner) Stats() Stats { return rn.stats }
+
+// RunIteration performs one full workflow iteration: a fresh graph, a
+// restarted instance, and a batch of synthesized queries. The report
+// callback observes every test case.
+func (rn *Runner) RunIteration(report func(*TestCase)) error {
+	start := time.Now()
+	g, schema := graph.Generate(rn.r, rn.cfg.Graph)
+	if err := rn.target.Reset(g, schema); err != nil {
+		return err
+	}
+	rn.stats.Graphs++
+
+	synthCfg := rn.cfg.Synth
+	synthCfg.RelUniqueness = rn.target.RelUniqueness()
+	synthCfg.ProvidesDBLabels = rn.target.ProvidesDBLabels()
+	syn := NewSynthesizer(rn.r, g, schema, synthCfg)
+
+	for q := 0; q < rn.cfg.QueriesPerGraph; q++ {
+		gt := SelectGroundTruth(rn.r, g, rn.cfg.Plan().MaxResultSet)
+		for k := 0; k < rn.cfg.QueriesPerGT; k++ {
+			tc := rn.runOne(syn, gt)
+			tc.Graph, tc.Schema = g, schema
+			if report != nil {
+				report(tc)
+			}
+		}
+	}
+	rn.stats.Elapsed += time.Since(start)
+	return nil
+}
+
+// Plan returns the effective plan configuration.
+func (c RunnerConfig) Plan() PlanConfig {
+	p := c.Synth.Plan
+	if p.MaxResultSet == 0 {
+		p = DefaultPlanConfig()
+	}
+	return p
+}
+
+func (rn *Runner) runOne(syn *Synthesizer, gt *GroundTruth) *TestCase {
+	rn.seq++
+	tc := &TestCase{Seq: rn.seq}
+	start := time.Now()
+	defer func() {
+		tc.Elapsed = time.Since(start)
+		rn.stats.Queries++
+		switch tc.Verdict {
+		case VerdictPass:
+			rn.stats.Passes++
+		case VerdictLogicBug:
+			rn.stats.LogicBugs++
+		case VerdictErrorBug:
+			rn.stats.ErrorBugs++
+		default:
+			rn.stats.Skips++
+		}
+	}()
+
+	sq, err := syn.Synthesize(gt)
+	if err != nil {
+		tc.Err = err
+		tc.Verdict = VerdictSkip
+		return tc
+	}
+	tc.Query = sq.Text
+	tc.Steps = sq.Steps
+	tc.Expected = sq.Expected
+
+	actual, err := rn.target.Execute(sq.Text)
+	if err != nil {
+		tc.Err = err
+		tc.Verdict = classifyError(err)
+		return tc
+	}
+	tc.Actual = actual
+	if sq.Expected.Equal(actual) {
+		tc.Verdict = VerdictPass
+	} else {
+		tc.Verdict = VerdictLogicBug
+	}
+	return tc
+}
+
+// classifyError separates true error-bugs (crashes, hangs, unexpected
+// exceptions) from resource-limit aborts, which are skipped as the
+// paper's timeouts are.
+func classifyError(err error) Verdict {
+	var lim *engine.ErrResourceLimit
+	if errors.As(err, &lim) {
+		return VerdictSkip
+	}
+	return VerdictErrorBug
+}
+
+// Run executes n workflow iterations.
+func (rn *Runner) Run(n int, report func(*TestCase)) (Stats, error) {
+	for i := 0; i < n; i++ {
+		if err := rn.RunIteration(report); err != nil {
+			return rn.stats, err
+		}
+	}
+	return rn.stats, nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+)
+
+// Step is one synthesis step: the operations assigned to it, the clause
+// family it will be synthesized into, and the referenceable variables
+// after the step executes (Algorithm 1's Step and Var outputs).
+type Step struct {
+	Ops    Ops
+	Clause ClauseKind
+	// VarsBefore and VarsAfter are the referenceable variables at the
+	// step boundaries, in introduction order. They drive the cross-step
+	// data dependencies of §3.3.
+	VarsBefore []string
+	VarsAfter  []string
+}
+
+// Ops is a list of operations with small helpers.
+type Ops []*Operation
+
+// Kinds reports whether any operation has the given kind.
+func (os Ops) Has(k OpKind) bool {
+	for _, o := range os {
+		if o.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// OfKind returns the operations of the given kind.
+func (os Ops) OfKind(k OpKind) Ops {
+	var out Ops
+	for _, o := range os {
+		if o.Kind == k {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Schedule distributes the plan's operations across steps, implementing
+// Algorithm 1: repeatedly scan the DAG for zero-indegree operations whose
+// clause family matches the current step, assign them at random, and
+// opportunistically pull in weakly-constrained successors (⪯) whose only
+// remaining constraint is satisfied within the step. maxSteps bounds the
+// schedule length; once close to the bound the scan stops rejecting
+// eligible operations.
+func Schedule(r *rand.Rand, plan *Plan, maxSteps int) []*Step {
+	if maxSteps < 2 {
+		maxSteps = 2
+	}
+	indeg := map[*Operation]int{}
+	assigned := map[*Operation]bool{}
+	for _, o := range plan.Ops {
+		if _, ok := indeg[o]; !ok {
+			indeg[o] = 0
+		}
+		for _, t := range o.strong {
+			indeg[t]++
+		}
+		for _, t := range o.weak {
+			indeg[t]++
+		}
+	}
+	remaining := len(plan.Ops)
+	var steps []*Step
+	vars := []string{}
+	scan := append([]*Operation(nil), plan.Ops...)
+
+	for remaining > 0 {
+		// The scan order within a pass is unspecified by Algorithm 1;
+		// shuffling it lets any eligible operation open a step — an
+		// unanchored UNWIND can precede the first MATCH (Figure 17).
+		r.Shuffle(len(scan), func(i, j int) { scan[i], scan[j] = scan[j], scan[i] })
+		step := &Step{VarsBefore: append([]string(nil), vars...)}
+		mustPack := len(steps) >= maxSteps-2
+		align := func(o *Operation) bool {
+			if len(step.Ops) == 0 {
+				return true
+			}
+			if step.Ops[0].Clause() != o.Clause() {
+				return false
+			}
+			// One UNWIND clause expands exactly one list.
+			return o.Clause() != ClauseUnwind
+		}
+		assign := func(o *Operation) {
+			step.Ops = append(step.Ops, o)
+			assigned[o] = true
+			remaining--
+		}
+		for _, o := range scan {
+			if assigned[o] || indeg[o] != 0 || !align(o) {
+				continue
+			}
+			if !mustPack && r.Intn(2) == 0 {
+				continue
+			}
+			assign(o)
+			// Weakly-related successors may join the same step (lines
+			// 7-11 of Algorithm 1).
+			for _, o2 := range o.weak {
+				if !assigned[o2] && indeg[o2] == 1 && align(o2) && (mustPack || r.Intn(2) == 0) {
+					assign(o2)
+				}
+			}
+		}
+		if len(step.Ops) == 0 {
+			// The random scan kept everything back; force the first
+			// eligible operation so the loop terminates.
+			for _, o := range scan {
+				if !assigned[o] && indeg[o] == 0 {
+					assign(o)
+					break
+				}
+			}
+		}
+		// Remove the step from the DAG (line 15).
+		for _, o := range step.Ops {
+			for _, t := range o.strong {
+				indeg[t]--
+			}
+			for _, t := range o.weak {
+				if !assigned[t] {
+					indeg[t]--
+				}
+			}
+		}
+		step.Clause = step.Ops[0].Clause()
+		vars = refVars(vars, step)
+		step.VarsAfter = append([]string(nil), vars...)
+		steps = append(steps, step)
+	}
+	return normalizeTail(steps)
+}
+
+// refVars implements line 14 of Algorithm 1: variables introduced by the
+// step become referenceable; removed ones stop being referenceable.
+func refVars(prev []string, step *Step) []string {
+	removed := map[string]bool{}
+	for _, o := range step.Ops {
+		switch o.Kind {
+		case OpRemoveElem, OpRemoveAlias, OpTruncList:
+			removed[o.Var] = true
+		}
+	}
+	var out []string
+	for _, v := range prev {
+		if !removed[v] {
+			out = append(out, v)
+		}
+	}
+	for _, o := range step.Ops {
+		switch o.Kind {
+		case OpAddElem, OpAccessProp, OpAddAlias, OpExpandList:
+			if !removed[o.Var] {
+				out = append(out, v0(out, o.Var)...)
+			}
+		}
+	}
+	return out
+}
+
+// v0 returns {v} if v is not already present in vars.
+func v0(vars []string, v string) []string {
+	for _, x := range vars {
+		if x == v {
+			return nil
+		}
+	}
+	return []string{v}
+}
+
+// normalizeTail guarantees the schedule ends with a projection step (the
+// final RETURN). The constraint structure already implies this — every
+// add operation has a removal or access downstream in the projection
+// family — but a defensive trailing step keeps synthesis simple if a
+// future plan shape violates it.
+func normalizeTail(steps []*Step) []*Step {
+	if len(steps) == 0 {
+		return []*Step{{Clause: ClauseProjection}}
+	}
+	if last := steps[len(steps)-1]; last.Clause != ClauseProjection {
+		steps = append(steps, &Step{
+			Clause:     ClauseProjection,
+			VarsBefore: last.VarsAfter,
+			VarsAfter:  last.VarsAfter,
+		})
+	}
+	return steps
+}

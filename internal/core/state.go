@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gqs/internal/cypher/ast"
+	"gqs/internal/engine"
+	"gqs/internal/eval"
+	"gqs/internal/graph"
+	"gqs/internal/value"
+)
+
+func graphPropertyKey(e elemRef, name string) graph.PropertyKey {
+	return graph.PropertyKey{Element: e.id, IsRel: e.isRel, Name: name}
+}
+
+// Tracker maintains the expected intermediate state of the query being
+// synthesized: the symbolic rows flowing through the clause pipeline.
+// Because every pattern is uniquified to exactly one match (§3.4), the
+// only sources of row multiplicity and divergence are UNWIND expansions;
+// the tracker models those exactly, which is what lets GQS compute the
+// expected result set analytically rather than by executing the query.
+type Tracker struct {
+	g    *graph.Graph
+	rows []symRow
+}
+
+type symRow struct {
+	env  map[string]value.Value
+	mult int
+}
+
+// NewTracker starts with the single empty row every Cypher query begins
+// with.
+func NewTracker(g *graph.Graph) *Tracker {
+	return &Tracker{g: g, rows: []symRow{{env: map[string]value.Value{}, mult: 1}}}
+}
+
+// Vars returns the variables bound in the current rows, sorted.
+func (t *Tracker) Vars() []string {
+	if len(t.rows) == 0 {
+		return nil
+	}
+	var out []string
+	for v := range t.rows[0].env {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RowCount returns the number of distinct symbolic rows.
+func (t *Tracker) RowCount() int { return len(t.rows) }
+
+// TotalMult returns the total expected row count (sum of multiplicities).
+func (t *Tracker) TotalMult() int {
+	n := 0
+	for _, r := range t.rows {
+		n += r.mult
+	}
+	return n
+}
+
+// ConstantVars returns the variables whose value is identical across all
+// rows; predicates built over these hold uniformly.
+func (t *Tracker) ConstantVars() map[string]bool {
+	out := map[string]bool{}
+	if len(t.rows) == 0 {
+		return out
+	}
+	for v, first := range t.rows[0].env {
+		constant := true
+		for _, r := range t.rows[1:] {
+			if !value.Equivalent(r.env[v], first) {
+				constant = false
+				break
+			}
+		}
+		out[v] = constant
+	}
+	return out
+}
+
+func (t *Tracker) ctx(env map[string]value.Value) *eval.Ctx {
+	return &eval.Ctx{Graph: t.g, Env: env}
+}
+
+// Bind adds the same variable bindings to every row (a uniquified MATCH).
+func (t *Tracker) Bind(vals map[string]value.Value) {
+	for i := range t.rows {
+		for k, v := range vals {
+			t.rows[i].env[k] = v
+		}
+	}
+}
+
+// Check verifies the expression evaluates without error in every row.
+func (t *Tracker) Check(e ast.Expr) error {
+	for _, r := range t.rows {
+		if _, err := eval.Eval(t.ctx(r.env), e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HoldsEverywhere reports whether the predicate is TriTrue in every row.
+func (t *Tracker) HoldsEverywhere(e ast.Expr) (bool, error) {
+	for _, r := range t.rows {
+		tr, err := eval.EvalPredicate(t.ctx(r.env), e)
+		if err != nil {
+			return false, err
+		}
+		if tr != value.TriTrue {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EvalConstant evaluates the expression in the first row; callers use it
+// only for expressions over constant variables.
+func (t *Tracker) EvalConstant(e ast.Expr) (value.Value, error) {
+	if len(t.rows) == 0 {
+		return value.Null, fmt.Errorf("no rows")
+	}
+	return eval.Eval(t.ctx(t.rows[0].env), e)
+}
+
+// Unwind models UNWIND expr AS alias: each row branches into one row per
+// list element.
+func (t *Tracker) Unwind(alias string, listExpr ast.Expr) error {
+	var out []symRow
+	for _, r := range t.rows {
+		v, err := eval.Eval(t.ctx(r.env), listExpr)
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case value.KindNull:
+			// no rows
+		case value.KindList:
+			for _, el := range v.AsList() {
+				env := cloneEnv(r.env)
+				env[alias] = el
+				out = append(out, symRow{env: env, mult: r.mult})
+			}
+		default:
+			return fmt.Errorf("UNWIND of non-list %s", v.Kind())
+		}
+	}
+	t.rows = out
+	return nil
+}
+
+// ProjItem is one projection item the tracker applies.
+type ProjItem struct {
+	Name string
+	Expr ast.Expr
+}
+
+// Project models WITH/RETURN: evaluate the items per row, then merge
+// identical rows (multiplicity 1 each under DISTINCT, summed otherwise).
+func (t *Tracker) Project(items []ProjItem, distinct bool) error {
+	merged := map[string]int{} // row key -> index into out
+	var out []symRow
+	for _, r := range t.rows {
+		env := make(map[string]value.Value, len(items))
+		var key strings.Builder
+		for _, it := range items {
+			v, err := eval.Eval(t.ctx(r.env), it.Expr)
+			if err != nil {
+				return err
+			}
+			env[it.Name] = v
+			key.WriteString(v.Key())
+			key.WriteByte('|')
+		}
+		k := key.String()
+		if idx, ok := merged[k]; ok {
+			if distinct {
+				// already present; DISTINCT keeps one copy
+			} else {
+				out[idx].mult += r.mult
+			}
+			continue
+		}
+		merged[k] = len(out)
+		m := r.mult
+		if distinct {
+			m = 1
+		}
+		out = append(out, symRow{env: env, mult: m})
+	}
+	t.rows = out
+	return nil
+}
+
+// Filter models a WHERE subclause over the current rows.
+func (t *Tracker) Filter(pred ast.Expr) error {
+	var out []symRow
+	for _, r := range t.rows {
+		tr, err := eval.EvalPredicate(t.ctx(r.env), pred)
+		if err != nil {
+			return err
+		}
+		if tr == value.TriTrue {
+			out = append(out, r)
+		}
+	}
+	t.rows = out
+	return nil
+}
+
+// Limit models LIMIT k. It is only well-defined when at most one distinct
+// row exists (otherwise which rows survive depends on engine ordering);
+// the synthesizer only emits LIMIT in that situation.
+func (t *Tracker) Limit(k int) error {
+	if len(t.rows) > 1 {
+		return fmt.Errorf("LIMIT over %d distinct rows is order-dependent", len(t.rows))
+	}
+	if len(t.rows) == 1 && t.rows[0].mult > k {
+		t.rows[0].mult = k
+	}
+	return nil
+}
+
+// Skip models SKIP k under the same single-distinct-row restriction.
+func (t *Tracker) Skip(k int) error {
+	if len(t.rows) > 1 {
+		return fmt.Errorf("SKIP over %d distinct rows is order-dependent", len(t.rows))
+	}
+	if len(t.rows) == 1 {
+		t.rows[0].mult -= k
+		if t.rows[0].mult <= 0 {
+			t.rows = nil
+		}
+	}
+	return nil
+}
+
+// Result materializes the expected result over the given output columns.
+func (t *Tracker) Result(cols []string) *engine.Result {
+	res := &engine.Result{Columns: append([]string(nil), cols...)}
+	for _, r := range t.rows {
+		vals := make([]value.Value, len(cols))
+		for i, c := range cols {
+			vals[i] = r.env[c]
+		}
+		for k := 0; k < r.mult; k++ {
+			res.Rows = append(res.Rows, vals)
+		}
+	}
+	return res
+}
+
+// Clone deep-copies the tracker (used by UNION synthesis).
+func (t *Tracker) Clone() *Tracker {
+	out := &Tracker{g: t.g, rows: make([]symRow, len(t.rows))}
+	for i, r := range t.rows {
+		out.rows[i] = symRow{env: cloneEnv(r.env), mult: r.mult}
+	}
+	return out
+}
+
+func cloneEnv(env map[string]value.Value) map[string]value.Value {
+	out := make(map[string]value.Value, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+// Package lexer tokenizes Cypher query text.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"gqs/internal/cypher/token"
+)
+
+// Error is a lexical error with its byte offset.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lex error at %d: %s", e.Pos, e.Msg) }
+
+// Lexer produces tokens from Cypher source text.
+type Lexer struct {
+	src string
+	pos int
+	err *Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src} }
+
+// Err returns the first lexical error encountered, if any.
+func (l *Lexer) Err() error {
+	if l.err == nil {
+		return nil
+	}
+	return l.err
+}
+
+// All tokenizes the entire input, returning the token stream ending with
+// EOF, and the first error if any.
+func All(src string) ([]token.Token, error) {
+	l := New(src)
+	var ts []token.Token
+	for {
+		t := l.Next()
+		ts = append(ts, t)
+		if t.Type == token.EOF || t.Type == token.Illegal {
+			break
+		}
+	}
+	return ts, l.Err()
+}
+
+func (l *Lexer) fail(pos int, format string, args ...any) token.Token {
+	if l.err == nil {
+		l.err = &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+	return token.Token{Type: token.Illegal, Pos: pos}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token.Token{Type: token.EOF, Pos: start}
+	}
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c):
+		return l.number()
+	case c == '\'' || c == '"':
+		return l.str(c)
+	case isIdentStart(rune(c)) || c >= utf8.RuneSelf:
+		return l.ident()
+	case c == '`':
+		return l.quotedIdent()
+	}
+	l.pos++
+	two := func(t token.Type) token.Token {
+		l.pos++
+		return token.Token{Type: t, Pos: start}
+	}
+	one := func(t token.Type) token.Token {
+		return token.Token{Type: t, Pos: start}
+	}
+	switch c {
+	case '(':
+		return one(token.LParen)
+	case ')':
+		return one(token.RParen)
+	case '[':
+		return one(token.LBracket)
+	case ']':
+		return one(token.RBracket)
+	case '{':
+		return one(token.LBrace)
+	case '}':
+		return one(token.RBrace)
+	case ',':
+		return one(token.Comma)
+	case ':':
+		return one(token.Colon)
+	case ';':
+		return one(token.Semi)
+	case '$':
+		return one(token.Dollar)
+	case '|':
+		return one(token.Pipe)
+	case '.':
+		if l.peekByte() == '.' {
+			return two(token.DotDot)
+		}
+		return one(token.Dot)
+	case '+':
+		return one(token.Plus)
+	case '-':
+		return one(token.Minus)
+	case '*':
+		return one(token.Star)
+	case '/':
+		return one(token.Slash)
+	case '%':
+		return one(token.Percent)
+	case '^':
+		return one(token.Caret)
+	case '=':
+		if l.peekByte() == '~' {
+			return two(token.Regex)
+		}
+		return one(token.Eq)
+	case '<':
+		switch l.peekByte() {
+		case '>':
+			return two(token.Neq)
+		case '=':
+			return two(token.Le)
+		}
+		return one(token.Lt)
+	case '>':
+		if l.peekByte() == '=' {
+			return two(token.Ge)
+		}
+		return one(token.Gt)
+	}
+	return l.fail(start, "unexpected character %q", c)
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.pos += 2 + end + 2
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) number() token.Token {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	isFloat := false
+	// Fraction, but not a ".." range or a ".prop" access on an int.
+	if l.peekByte() == '.' && isDigit(l.peekByteAt(1)) {
+		isFloat = true
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if c := l.peekByte(); c == 'e' || c == 'E' {
+		save := l.pos
+		l.pos++
+		if c := l.peekByte(); c == '+' || c == '-' {
+			l.pos++
+		}
+		if isDigit(l.peekByte()) {
+			isFloat = true
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	typ := token.Int
+	if isFloat {
+		typ = token.Float
+	}
+	return token.Token{Type: typ, Lit: l.src[start:l.pos], Pos: start}
+}
+
+func (l *Lexer) str(quote byte) token.Token {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return token.Token{Type: token.String, Lit: sb.String(), Pos: start}
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return l.fail(start, "unterminated string")
+			}
+			e := l.src[l.pos]
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\', '\'', '"', '`':
+				sb.WriteByte(e)
+			default:
+				return l.fail(l.pos, "unknown escape \\%c", e)
+			}
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return l.fail(start, "unterminated string")
+}
+
+func (l *Lexer) ident() token.Token {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	lit := l.src[start:l.pos]
+	return token.Token{Type: token.Lookup(lit), Lit: lit, Pos: start}
+}
+
+func (l *Lexer) quotedIdent() token.Token {
+	start := l.pos
+	l.pos++ // opening backtick
+	end := strings.IndexByte(l.src[l.pos:], '`')
+	if end < 0 {
+		return l.fail(start, "unterminated quoted identifier")
+	}
+	lit := l.src[l.pos : l.pos+end]
+	l.pos += end + 1
+	return token.Token{Type: token.Ident, Lit: lit, Pos: start}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

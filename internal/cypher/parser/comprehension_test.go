@@ -1,0 +1,100 @@
+package parser
+
+import (
+	"testing"
+
+	"gqs/internal/cypher/ast"
+)
+
+func TestParseListComprehension(t *testing.T) {
+	e, err := ParseExpr(`[x IN [1, 2, 3] WHERE x > 1 | x * 2]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, ok := e.(*ast.ListComprehension)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if lc.Var != "x" || lc.Where == nil || lc.Map == nil {
+		t.Errorf("comprehension parts: %+v", lc)
+	}
+	// Optional parts.
+	e, err = ParseExpr(`[x IN l]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc = e.(*ast.ListComprehension)
+	if lc.Where != nil || lc.Map != nil {
+		t.Error("bare comprehension must have nil Where/Map")
+	}
+	// A plain list literal is unaffected.
+	e, err = ParseExpr(`[1, x, 'a']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*ast.ListLit); !ok {
+		t.Fatalf("got %T, want ListLit", e)
+	}
+	// Round trip.
+	src := `[x IN [1, 2] WHERE (x > 1) | (x * 2)]`
+	e, err = ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ast.ExprString(e); got != src {
+		t.Errorf("round trip: %q vs %q", got, src)
+	}
+}
+
+func TestParseQuantifiers(t *testing.T) {
+	for _, src := range []string{
+		`all(x IN [1, 2] WHERE x > 0)`,
+		`any(x IN l WHERE x = 1)`,
+		`none(x IN l WHERE x IS NULL)`,
+		`single(x IN l WHERE x = 2)`,
+	} {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if _, ok := e.(*ast.Quantifier); !ok {
+			t.Fatalf("%s: got %T", src, e)
+		}
+		// Round trip through the printer.
+		if _, err := ParseExpr(ast.ExprString(e)); err != nil {
+			t.Errorf("%s: reparse failed: %v", src, err)
+		}
+	}
+	// A function also named "all" with normal args stays a call.
+	e, err := ParseExpr(`size([1])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*ast.FuncCall); !ok {
+		t.Fatalf("got %T", e)
+	}
+	// Quantifiers require WHERE.
+	if _, err := ParseExpr(`all(x IN l)`); err == nil {
+		t.Error("quantifier without WHERE must error")
+	}
+}
+
+func TestComprehensionFreeVariables(t *testing.T) {
+	e, _ := ParseExpr(`[x IN ys WHERE x > lo | x + add]`)
+	vars := ast.Variables(e)
+	want := map[string]bool{"ys": true, "lo": true, "add": true}
+	if len(vars) != 3 {
+		t.Fatalf("Variables = %v", vars)
+	}
+	for _, v := range vars {
+		if !want[v] {
+			t.Errorf("unexpected free variable %q", v)
+		}
+	}
+	e, _ = ParseExpr(`any(x IN x WHERE x = 1)`)
+	// The list expression is outside the binding: x is free there.
+	vars = ast.Variables(e)
+	if len(vars) != 1 || vars[0] != "x" {
+		t.Errorf("Variables = %v, want [x]", vars)
+	}
+}

@@ -1,0 +1,153 @@
+// Package token defines the lexical tokens of the Cypher query language
+// subset implemented by this repository (openCypher 9 data retrieval and
+// update clauses).
+package token
+
+import "strings"
+
+// Type identifies a lexical token class.
+type Type int
+
+// Token types.
+const (
+	Illegal Type = iota
+	EOF
+
+	Ident  // variable and function names, labels, property names
+	Int    // integer literal
+	Float  // float literal
+	String // string literal (quotes removed, escapes resolved)
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBracket // [
+	RBracket // ]
+	LBrace   // {
+	RBrace   // }
+	Comma    // ,
+	Colon    // :
+	Semi     // ;
+	Dot      // .
+	DotDot   // ..
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	Percent  // %
+	Caret    // ^
+	Eq       // =
+	Neq      // <>
+	Lt       // <
+	Le       // <=
+	Gt       // >
+	Ge       // >=
+	Pipe     // |
+	Regex    // =~
+	Dollar   // $
+
+	// Keywords.
+	KwMatch
+	KwOptional
+	KwMandatory
+	KwUnwind
+	KwWith
+	KwReturn
+	KwWhere
+	KwOrder
+	KwBy
+	KwSkip
+	KwLimit
+	KwAsc
+	KwAscending
+	KwDesc
+	KwDescending
+	KwDistinct
+	KwAs
+	KwUnion
+	KwAll
+	KwCall
+	KwYield
+	KwCreate
+	KwSet
+	KwMerge
+	KwDelete
+	KwDetach
+	KwRemove
+	KwOn
+	KwAnd
+	KwOr
+	KwXor
+	KwNot
+	KwIn
+	KwStarts
+	KwEnds
+	KwContains
+	KwIs
+	KwNull
+	KwTrue
+	KwFalse
+	KwCase
+	KwWhen
+	KwThen
+	KwElse
+	KwEnd
+	KwExists
+	KwCount
+)
+
+var names = map[Type]string{
+	Illegal: "ILLEGAL", EOF: "EOF", Ident: "IDENT", Int: "INT",
+	Float: "FLOAT", String: "STRING",
+	LParen: "(", RParen: ")", LBracket: "[", RBracket: "]",
+	LBrace: "{", RBrace: "}", Comma: ",", Colon: ":", Semi: ";",
+	Dot: ".", DotDot: "..", Plus: "+", Minus: "-", Star: "*",
+	Slash: "/", Percent: "%", Caret: "^", Eq: "=", Neq: "<>",
+	Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Pipe: "|", Regex: "=~",
+	Dollar:  "$",
+	KwMatch: "MATCH", KwOptional: "OPTIONAL", KwMandatory: "MANDATORY",
+	KwUnwind: "UNWIND", KwWith: "WITH", KwReturn: "RETURN",
+	KwWhere: "WHERE", KwOrder: "ORDER", KwBy: "BY", KwSkip: "SKIP",
+	KwLimit: "LIMIT", KwAsc: "ASC", KwAscending: "ASCENDING",
+	KwDesc: "DESC", KwDescending: "DESCENDING", KwDistinct: "DISTINCT",
+	KwAs: "AS", KwUnion: "UNION", KwAll: "ALL", KwCall: "CALL",
+	KwYield: "YIELD", KwCreate: "CREATE", KwSet: "SET", KwMerge: "MERGE",
+	KwDelete: "DELETE", KwDetach: "DETACH", KwRemove: "REMOVE",
+	KwOn: "ON", KwAnd: "AND", KwOr: "OR", KwXor: "XOR", KwNot: "NOT",
+	KwIn: "IN", KwStarts: "STARTS", KwEnds: "ENDS",
+	KwContains: "CONTAINS", KwIs: "IS", KwNull: "NULL", KwTrue: "TRUE",
+	KwFalse: "FALSE", KwCase: "CASE", KwWhen: "WHEN", KwThen: "THEN",
+	KwElse: "ELSE", KwEnd: "END", KwExists: "EXISTS", KwCount: "COUNT",
+}
+
+// String returns the display name of the token type.
+func (t Type) String() string {
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return "TOKEN(?)"
+}
+
+var keywords = map[string]Type{}
+
+func init() {
+	for t := KwMatch; t <= KwCount; t++ {
+		keywords[names[t]] = t
+	}
+}
+
+// Lookup maps an identifier to its keyword type, or returns Ident.
+// Cypher keywords are case-insensitive.
+func Lookup(ident string) Type {
+	if t, ok := keywords[strings.ToUpper(ident)]; ok {
+		return t
+	}
+	return Ident
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Type Type
+	Lit  string // literal text for Ident/Int/Float/String
+	Pos  int
+}

@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"fmt"
+
+	"gqs/internal/cypher/ast"
+	"gqs/internal/cypher/parser"
+	"gqs/internal/eval"
+	"gqs/internal/graph"
+	"gqs/internal/value"
+)
+
+// Dialect captures the documented behavioural differences between the
+// Cypher implementations the paper tests (§4, "Handling GDB-specific
+// Cypher Variations").
+type Dialect struct {
+	Name string
+	// RelUniqueness enforces the Cypher reference rule that distinct
+	// relationship pattern elements of one MATCH clause bind distinct
+	// relationships. FalkorDB and Kùzu deviate and allow repeats.
+	RelUniqueness bool
+	// ProvidesDBLabels enables the CALL db.labels()/db.relationshipTypes()
+	// /db.propertyKeys() procedures (Neo4j and FalkorDB provide them;
+	// Kùzu and Memgraph do not).
+	ProvidesDBLabels bool
+	// EnforceSchema rejects writes whose property types deviate from the
+	// declared schema, as the schema-first Kùzu does (§4).
+	EnforceSchema bool
+}
+
+// Reference is the openCypher-reference dialect used by the pristine
+// engine that GQS validates against.
+var Reference = Dialect{Name: "reference", RelUniqueness: true, ProvidesDBLabels: true}
+
+// Limits bound the resources one query may consume; exceeding them fails
+// the query rather than hanging the process.
+type Limits struct {
+	MaxRows       int // intermediate table size
+	MaxMatchSteps int // backtracking steps across one MATCH clause
+}
+
+// DefaultLimits are generous enough for the paper's graph sizes while
+// keeping worst-case unanchored cartesian patterns bounded (a stand-in
+// for the per-query timeouts real campaigns use).
+func DefaultLimits() Limits {
+	return Limits{MaxRows: 100_000, MaxMatchSteps: 4_000_000}
+}
+
+// ErrResourceLimit is returned when a query exceeds the engine limits.
+type ErrResourceLimit struct{ What string }
+
+func (e *ErrResourceLimit) Error() string {
+	return fmt.Sprintf("query exceeded resource limit: %s", e.What)
+}
+
+// Options configure an engine instance.
+type Options struct {
+	Dialect Dialect
+	Limits  Limits
+	// DisablePlanner turns off the optimization passes (index-scan
+	// selection, traversal-start selection, predicate pushdown); used by
+	// the ablation benchmarks.
+	DisablePlanner bool
+	// ReverseScan makes node scans run in descending ID order: a cheap
+	// stand-in for "a different query plan", so two engines produce
+	// rows in different orders (one of the differential-tester
+	// false-positive sources of §5.4.3).
+	ReverseScan bool
+}
+
+// Engine is one database instance: a store plus a dialect.
+type Engine struct {
+	store  *Store
+	opts   Options
+	params map[string]value.Value
+	// planTrace records, for tests and ablation benches, which access
+	// paths the planner chose during the most recent query.
+	planTrace []string
+}
+
+// New creates an engine with the given options.
+func New(opts Options) *Engine {
+	if opts.Dialect.Name == "" {
+		opts.Dialect = Reference
+	}
+	if opts.Limits.MaxRows == 0 {
+		opts.Limits = DefaultLimits()
+	}
+	return &Engine{store: NewStore(), opts: opts}
+}
+
+// NewReference creates a reference-dialect engine.
+func NewReference() *Engine { return New(Options{}) }
+
+// LoadGraph replaces the database contents with a copy of g.
+func (e *Engine) LoadGraph(g *graph.Graph, schema *graph.Schema) {
+	e.store.Reset(g, schema)
+	e.store.enforceSchema = e.opts.Dialect.EnforceSchema
+}
+
+// Store exposes the engine's store.
+func (e *Engine) Store() *Store { return e.store }
+
+// Dialect returns the engine's dialect.
+func (e *Engine) Dialect() Dialect { return e.opts.Dialect }
+
+// PlanTrace returns the access paths chosen for the most recent query.
+func (e *Engine) PlanTrace() []string { return e.planTrace }
+
+// Execute parses and runs a query.
+func (e *Engine) Execute(query string) (*Result, error) {
+	return e.ExecuteParams(query, nil)
+}
+
+// ExecuteParams parses and runs a query with bound parameters ($name).
+func (e *Engine) ExecuteParams(query string, params map[string]value.Value) (*Result, error) {
+	q, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	e.params = params
+	defer func() { e.params = nil }()
+	return e.ExecuteAST(q)
+}
+
+// Explain runs the query and returns the access paths the planner chose,
+// one entry per scan decision — a light-weight EXPLAIN.
+func (e *Engine) Explain(query string) ([]string, error) {
+	if _, err := e.Execute(query); err != nil {
+		return nil, err
+	}
+	return append([]string(nil), e.planTrace...), nil
+}
+
+// ExecuteAST runs a parsed query.
+func (e *Engine) ExecuteAST(q *ast.Query) (*Result, error) {
+	e.planTrace = e.planTrace[:0]
+	var out *Result
+	for i, part := range q.Parts {
+		r, err := e.executeSingle(part)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			out = r
+			continue
+		}
+		if err := sameColumns(out, r); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, r.Rows...)
+		if !q.All[i-1] {
+			out = distinctResult(out)
+		}
+	}
+	return out, nil
+}
+
+func sameColumns(a, b *Result) error {
+	if len(a.Columns) != len(b.Columns) {
+		return fmt.Errorf("UNION requires the same column names")
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return fmt.Errorf("UNION requires the same column names: %s vs %s", a.Columns[i], b.Columns[i])
+		}
+	}
+	return nil
+}
+
+func distinctResult(r *Result) *Result {
+	seen := map[string]bool{}
+	out := &Result{Columns: r.Columns}
+	for i, rw := range r.Rows {
+		k := r.rowKey(i)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, rw)
+		}
+	}
+	return out
+}
+
+func (e *Engine) executeSingle(s *ast.SingleQuery) (*Result, error) {
+	rows := []row{{}}
+	var result *Result
+	for i, c := range s.Clauses {
+		last := i == len(s.Clauses)-1
+		var err error
+		switch c := c.(type) {
+		case *ast.MatchClause:
+			rows, err = e.execMatch(c, rows)
+		case *ast.UnwindClause:
+			rows, err = e.execUnwind(c, rows)
+		case *ast.WithClause:
+			rows, err = e.execWith(c, rows)
+		case *ast.ReturnClause:
+			if !last {
+				return nil, fmt.Errorf("RETURN must be the final clause")
+			}
+			result, err = e.execReturn(c, rows)
+		case *ast.CallClause:
+			rows, result, err = e.execCall(c, rows, last)
+		case *ast.CreateClause:
+			rows, err = e.execCreate(c, rows)
+		case *ast.SetClause:
+			err = e.execSet(c.Items, rows)
+		case *ast.MergeClause:
+			rows, err = e.execMerge(c, rows)
+		case *ast.DeleteClause:
+			err = e.execDelete(c, rows)
+		case *ast.RemoveClause:
+			err = e.execRemove(c, rows)
+		default:
+			err = fmt.Errorf("unsupported clause %T", c)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) > e.opts.Limits.MaxRows {
+			return nil, &ErrResourceLimit{What: "intermediate rows"}
+		}
+	}
+	if result == nil {
+		// Write-only query: empty result.
+		result = &Result{}
+	}
+	return result, nil
+}
+
+func (e *Engine) evalCtx(r row) *eval.Ctx {
+	return &eval.Ctx{Graph: e.store.Graph(), Env: r, Params: e.params}
+}
+
+// evalIn evaluates an expression in a row's environment.
+func (e *Engine) evalIn(r row, x ast.Expr) (value.Value, error) {
+	return eval.Eval(e.evalCtx(r), x)
+}

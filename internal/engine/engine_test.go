@@ -1,0 +1,543 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"gqs/internal/graph"
+	"gqs/internal/value"
+)
+
+// movieEngine builds the Figure 2 movie graph from the paper:
+// Alice -LIKE(10)-> Heat, Alice -LIKE(7)-> Up, Bob -LIKE(9)-> Up.
+func movieEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewReference()
+	_, err := e.Execute(`CREATE (a:USER {name: 'Alice'})-[:LIKE {rating: 10}]->
+		(h:MOVIE {name: 'Heat', year: 1995, genre: ['Drama', 'Crime']}),
+		(a)-[:LIKE {rating: 7}]->(u:MOVIE {name: 'Up', year: 2009, genre: ['Animation']}),
+		(b:USER {name: 'Bob'})-[:LIKE {rating: 9}]->(u)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustRun(t *testing.T, e *Engine, q string) *Result {
+	t.Helper()
+	r, err := e.Execute(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return r
+}
+
+func TestMatchReturnBasic(t *testing.T) {
+	e := movieEngine(t)
+	r := mustRun(t, e, `MATCH (m:MOVIE) RETURN m.name AS name`)
+	if r.Len() != 2 {
+		t.Fatalf("got %d rows: %v", r.Len(), r)
+	}
+}
+
+func TestMatchPatternDirection(t *testing.T) {
+	e := movieEngine(t)
+	fwd := mustRun(t, e, `MATCH (p:USER)-[r:LIKE]->(m:MOVIE) RETURN p.name, m.name`)
+	rev := mustRun(t, e, `MATCH (m:MOVIE)<-[r:LIKE]-(p:USER) RETURN p.name, m.name`)
+	if fwd.Len() != 3 || !fwd.Equal(rev) {
+		t.Errorf("forward/reverse patterns must match identically: %d vs %d", fwd.Len(), rev.Len())
+	}
+	und := mustRun(t, e, `MATCH (p:USER)-[r:LIKE]-(m:MOVIE) RETURN p.name, m.name`)
+	if und.Len() != 3 {
+		t.Errorf("undirected pattern: %d rows", und.Len())
+	}
+}
+
+func TestMatchWhere(t *testing.T) {
+	e := movieEngine(t)
+	r := mustRun(t, e, `MATCH (p:USER)-[r:LIKE]->(m:MOVIE)
+		WHERE p.name = 'Alice' AND r.rating >= 8 RETURN m.name AS n`)
+	if r.Len() != 1 || r.Rows[0][0].AsString() != "Heat" {
+		t.Fatalf("got %v", r)
+	}
+}
+
+func TestFigure2Query(t *testing.T) {
+	// The paper's second Figure 2 query, end to end.
+	e := movieEngine(t)
+	r := mustRun(t, e, `MATCH (p :USER)-[r :LIKE]->(m :MOVIE)
+		WHERE p.name = 'Alice' AND r.rating >= 8
+		UNWIND m.genre AS LikedGenre
+		WITH DISTINCT m.name AS MovieName, LikedGenre
+		RETURN MovieName, LikedGenre`)
+	if r.Len() != 2 {
+		t.Fatalf("expected 2 rows (Drama, Crime), got %v", r)
+	}
+	for _, row := range r.Rows {
+		if row[0].AsString() != "Heat" {
+			t.Errorf("unexpected movie %v", row[0])
+		}
+	}
+}
+
+func TestMultiplePatterns(t *testing.T) {
+	e := movieEngine(t)
+	// Cartesian of users and movies constrained by WHERE.
+	r := mustRun(t, e, `MATCH (p:USER), (m:MOVIE) RETURN p.name, m.name`)
+	if r.Len() != 4 {
+		t.Fatalf("cartesian product: %d rows, want 4", r.Len())
+	}
+}
+
+func TestSharedVariableJoin(t *testing.T) {
+	e := movieEngine(t)
+	// Movies liked by both Alice and Bob.
+	r := mustRun(t, e, `MATCH (a:USER {name: 'Alice'})-[:LIKE]->(m), (b:USER {name: 'Bob'})-[:LIKE]->(m)
+		RETURN m.name AS n`)
+	if r.Len() != 1 || r.Rows[0][0].AsString() != "Up" {
+		t.Fatalf("join on m: %v", r)
+	}
+}
+
+func TestRelUniqueness(t *testing.T) {
+	g := graph.New()
+	a := g.NewNode("A")
+	b := g.NewNode("B")
+	g.NewRel(a.ID, b.ID, "T")
+
+	ref := NewReference()
+	ref.LoadGraph(g, nil)
+	// With a single relationship, a two-hop pattern cannot reuse it under
+	// reference semantics.
+	r := mustRun(t, ref, `MATCH (x)-[e1]-(y)-[e2]-(z) RETURN x`)
+	if r.Len() != 0 {
+		t.Errorf("reference dialect must enforce relationship uniqueness, got %d rows", r.Len())
+	}
+
+	loose := New(Options{Dialect: Dialect{Name: "falkor-like", RelUniqueness: false, ProvidesDBLabels: true}})
+	loose.LoadGraph(g, nil)
+	r = mustRun(t, loose, `MATCH (x)-[e1]-(y)-[e2]-(z) RETURN x`)
+	if r.Len() == 0 {
+		t.Error("non-uniqueness dialect must allow reusing the relationship")
+	}
+	// The paper's workaround: WHERE e1 <> e2 restores the semantics.
+	r = mustRun(t, loose, `MATCH (x)-[e1]-(y)-[e2]-(z) WHERE e1 <> e2 RETURN x`)
+	if r.Len() != 0 {
+		t.Error("WHERE e1 <> e2 must filter duplicate matches")
+	}
+}
+
+func TestOptionalMatch(t *testing.T) {
+	e := movieEngine(t)
+	r := mustRun(t, e, `MATCH (p:USER) OPTIONAL MATCH (p)-[:HATES]->(m) RETURN p.name, m`)
+	if r.Len() != 2 {
+		t.Fatalf("optional match row count: %d", r.Len())
+	}
+	for _, row := range r.Rows {
+		if !row[1].IsNull() {
+			t.Errorf("unmatched optional variable must be null, got %v", row[1])
+		}
+	}
+	// Matched case keeps bindings.
+	r = mustRun(t, e, `MATCH (p:USER {name: 'Alice'}) OPTIONAL MATCH (p)-[l:LIKE]->(m) RETURN m.name`)
+	if r.Len() != 2 {
+		t.Errorf("matched optional: %d rows", r.Len())
+	}
+}
+
+func TestUnwind(t *testing.T) {
+	e := NewReference()
+	r := mustRun(t, e, `UNWIND [1, 2, 3] AS x RETURN x`)
+	if r.Len() != 3 {
+		t.Fatalf("unwind: %v", r)
+	}
+	r = mustRun(t, e, `UNWIND [] AS x RETURN x`)
+	if r.Len() != 0 {
+		t.Error("unwind of empty list must produce no rows")
+	}
+	r = mustRun(t, e, `WITH null AS l UNWIND l AS x RETURN x`)
+	if r.Len() != 0 {
+		t.Error("unwind of null must produce no rows")
+	}
+	if _, err := e.Execute(`UNWIND 5 AS x RETURN x`); err == nil {
+		t.Error("unwind of a scalar must be a type error")
+	}
+	// Nested: UNWIND duplicates the intermediate table (paper §3.2 L+).
+	r = mustRun(t, e, `UNWIND [1, 2] AS x UNWIND ['a', 'b'] AS y RETURN x, y`)
+	if r.Len() != 4 {
+		t.Errorf("nested unwind: %d rows", r.Len())
+	}
+}
+
+func TestWithProjectionAndFilter(t *testing.T) {
+	e := movieEngine(t)
+	r := mustRun(t, e, `MATCH (p:USER)-[l:LIKE]->(m)
+		WITH m.name AS name, l.rating AS rating WHERE rating > 8
+		RETURN name ORDER BY name`)
+	if r.Len() != 2 || r.Rows[0][0].AsString() != "Heat" || r.Rows[1][0].AsString() != "Up" {
+		t.Fatalf("got %v", r)
+	}
+}
+
+func TestWithRemovesVariables(t *testing.T) {
+	e := movieEngine(t)
+	// After WITH, m is out of scope: the E- operation of Table 1.
+	if _, err := e.Execute(`MATCH (p:USER)-[l]->(m) WITH p RETURN m`); err == nil {
+		t.Error("variable removed by WITH must be out of scope")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := movieEngine(t)
+	r := mustRun(t, e, `MATCH (p:USER)-[:LIKE]->(m) RETURN DISTINCT p.name AS n`)
+	if r.Len() != 2 {
+		t.Fatalf("distinct: %v", r)
+	}
+}
+
+func TestOrderBySkipLimit(t *testing.T) {
+	e := NewReference()
+	r := mustRun(t, e, `UNWIND [3, 1, 2, 5, 4] AS x RETURN x ORDER BY x DESC SKIP 1 LIMIT 2`)
+	if r.Len() != 2 || r.Rows[0][0].AsInt() != 4 || r.Rows[1][0].AsInt() != 3 {
+		t.Fatalf("got %v", r)
+	}
+	r = mustRun(t, e, `UNWIND [1, null, 2] AS x RETURN x ORDER BY x`)
+	if !r.Rows[2][0].IsNull() {
+		t.Error("nulls must sort last ascending")
+	}
+	if _, err := e.Execute(`UNWIND [1] AS x RETURN x LIMIT -1`); err == nil {
+		t.Error("negative LIMIT must error")
+	}
+}
+
+func TestOrderByUnprojectedVariable(t *testing.T) {
+	e := movieEngine(t)
+	// ORDER BY may reference pre-projection variables when the
+	// projection neither aggregates nor deduplicates.
+	r := mustRun(t, e, `MATCH (m:MOVIE) RETURN m.name AS n ORDER BY m.year DESC`)
+	if r.Rows[0][0].AsString() != "Up" {
+		t.Fatalf("got %v", r)
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	e := movieEngine(t)
+	r := mustRun(t, e, `MATCH (p:USER)-[l:LIKE]->(m) RETURN p.name AS n, count(*) AS c, sum(l.rating) AS s ORDER BY n`)
+	if r.Len() != 2 {
+		t.Fatalf("group count: %v", r)
+	}
+	// Alice: 2 likes, ratings 10+7; Bob: 1 like, rating 9.
+	if r.Rows[0][1].AsInt() != 2 || r.Rows[0][2].AsInt() != 17 {
+		t.Errorf("Alice row: %v", r.Rows[0])
+	}
+	if r.Rows[1][1].AsInt() != 1 || r.Rows[1][2].AsInt() != 9 {
+		t.Errorf("Bob row: %v", r.Rows[1])
+	}
+}
+
+func TestAggregationGlobalGroup(t *testing.T) {
+	e := movieEngine(t)
+	r := mustRun(t, e, `MATCH (p:USER)-[l:LIKE]->(m) RETURN count(*) AS c, avg(l.rating) AS a, collect(m.name) AS names`)
+	if r.Len() != 1 || r.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("global group: %v", r)
+	}
+	if len(r.Rows[0][2].AsList()) != 3 {
+		t.Errorf("collect: %v", r.Rows[0][2])
+	}
+}
+
+func TestAggregationEmptyInput(t *testing.T) {
+	e := NewReference()
+	r := mustRun(t, e, `MATCH (n:NOPE) RETURN count(*) AS c`)
+	if r.Len() != 1 || r.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("count over empty match must be one row of 0: %v", r)
+	}
+	// With grouping keys, an empty input yields no groups.
+	r = mustRun(t, e, `MATCH (n:NOPE) RETURN n.k0 AS k, count(*) AS c`)
+	if r.Len() != 0 {
+		t.Fatalf("grouped aggregation over empty input: %v", r)
+	}
+}
+
+func TestAggregateDistinct(t *testing.T) {
+	e := NewReference()
+	r := mustRun(t, e, `UNWIND [1, 1, 2] AS x RETURN count(DISTINCT x) AS c, sum(DISTINCT x) AS s`)
+	if r.Rows[0][0].AsInt() != 2 || r.Rows[0][1].AsInt() != 3 {
+		t.Fatalf("distinct aggregation: %v", r)
+	}
+}
+
+func TestAggregateInExpression(t *testing.T) {
+	e := NewReference()
+	r := mustRun(t, e, `UNWIND [1, 2, 3] AS x RETURN count(*) + 10 AS c, collect(x)[0] AS first`)
+	if r.Rows[0][0].AsInt() != 13 || r.Rows[0][1].AsInt() != 1 {
+		t.Fatalf("aggregate in expression: %v", r)
+	}
+}
+
+func TestReturnStar(t *testing.T) {
+	e := NewReference()
+	r := mustRun(t, e, `UNWIND [1] AS b UNWIND [2] AS a RETURN *`)
+	if strings.Join(r.Columns, ",") != "a,b" {
+		t.Fatalf("RETURN * columns must be sorted: %v", r.Columns)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	e := NewReference()
+	r := mustRun(t, e, `RETURN 1 AS x UNION ALL RETURN 1 AS x`)
+	if r.Len() != 2 {
+		t.Errorf("UNION ALL keeps duplicates: %v", r)
+	}
+	r = mustRun(t, e, `RETURN 1 AS x UNION RETURN 1 AS x`)
+	if r.Len() != 1 {
+		t.Errorf("UNION dedupes: %v", r)
+	}
+	if _, err := e.Execute(`RETURN 1 AS x UNION RETURN 1 AS y`); err == nil {
+		t.Error("UNION with different columns must error")
+	}
+}
+
+func TestCallProcedures(t *testing.T) {
+	e := movieEngine(t)
+	r := mustRun(t, e, `CALL db.labels()`)
+	if r.Len() != 2 {
+		t.Fatalf("db.labels: %v", r)
+	}
+	r = mustRun(t, e, `CALL db.labels() YIELD label RETURN label ORDER BY label`)
+	if r.Rows[0][0].AsString() != "MOVIE" {
+		t.Fatalf("db.labels yield: %v", r)
+	}
+	r = mustRun(t, e, `CALL db.relationshipTypes()`)
+	if r.Len() != 1 || r.Rows[0][0].AsString() != "LIKE" {
+		t.Fatalf("db.relationshipTypes: %v", r)
+	}
+	r = mustRun(t, e, `CALL db.propertyKeys()`)
+	if r.Len() == 0 {
+		t.Fatal("db.propertyKeys empty")
+	}
+	// Dialects without the procedure reject it, as Kùzu/Memgraph do.
+	noProc := New(Options{Dialect: Dialect{Name: "memgraph-like", RelUniqueness: true}})
+	if _, err := noProc.Execute(`CALL db.labels()`); err == nil {
+		t.Error("dialect without db.labels must error")
+	}
+	if _, err := e.Execute(`CALL db.nope()`); err == nil {
+		t.Error("unknown procedure must error")
+	}
+}
+
+func TestCreateAndMatchRoundTrip(t *testing.T) {
+	e := NewReference()
+	mustRun(t, e, `CREATE (a:X {k: 1}), (b:X {k: 2}), (a)-[:R {w: 5}]->(b)`)
+	r := mustRun(t, e, `MATCH (a:X)-[r:R]->(b:X) RETURN a.k, r.w, b.k`)
+	if r.Len() != 1 || r.Rows[0][1].AsInt() != 5 {
+		t.Fatalf("round trip: %v", r)
+	}
+}
+
+func TestSetAndRemove(t *testing.T) {
+	e := NewReference()
+	mustRun(t, e, `CREATE (:X {k: 1})`)
+	mustRun(t, e, `MATCH (n:X) SET n.k = 2, n.j = 'new', n:Y`)
+	r := mustRun(t, e, `MATCH (n:Y) RETURN n.k, n.j`)
+	if r.Len() != 1 || r.Rows[0][0].AsInt() != 2 || r.Rows[0][1].AsString() != "new" {
+		t.Fatalf("SET: %v", r)
+	}
+	mustRun(t, e, `MATCH (n:X) REMOVE n.j, n:Y`)
+	r = mustRun(t, e, `MATCH (n:X) RETURN n.j`)
+	if !r.Rows[0][0].IsNull() {
+		t.Error("REMOVE property broken")
+	}
+	if mustRun(t, e, `MATCH (n:Y) RETURN n`).Len() != 0 {
+		t.Error("REMOVE label broken")
+	}
+	// SET to null removes the property.
+	mustRun(t, e, `MATCH (n:X) SET n.k = null`)
+	r = mustRun(t, e, `MATCH (n:X) WHERE n.k IS NULL RETURN n`)
+	if r.Len() != 1 {
+		t.Error("SET null must remove property")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	e := NewReference()
+	mustRun(t, e, `CREATE (a:X)-[:R]->(b:X)`)
+	if _, err := e.Execute(`MATCH (n:X) DELETE n`); err == nil {
+		t.Error("DELETE of connected node must error")
+	}
+	mustRun(t, e, `MATCH (n:X) DETACH DELETE n`)
+	if mustRun(t, e, `MATCH (n) RETURN n`).Len() != 0 {
+		t.Error("DETACH DELETE must remove everything")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	e := NewReference()
+	mustRun(t, e, `MERGE (n:X {k: 1}) ON CREATE SET n.created = true ON MATCH SET n.matched = true`)
+	r := mustRun(t, e, `MATCH (n:X) RETURN n.created, n.matched`)
+	if r.Len() != 1 || !r.Rows[0][0].AsBool() || !r.Rows[0][1].IsNull() {
+		t.Fatalf("first merge must create: %v", r)
+	}
+	mustRun(t, e, `MERGE (n:X {k: 1}) ON CREATE SET n.created2 = true ON MATCH SET n.matched = true`)
+	r = mustRun(t, e, `MATCH (n:X) RETURN count(*) AS c, n.matched`)
+	if r.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("second merge must match, not create: %v", r)
+	}
+}
+
+func TestIndexScanPlanning(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 10; i++ {
+		n := g.NewNode("L0")
+		n.Props["k0"] = value.Int(int64(i))
+	}
+	schema := &graph.Schema{Indexes: []graph.IndexSpec{{Label: "L0", Property: "k0"}}}
+	e := NewReference()
+	e.LoadGraph(g, schema)
+	r := mustRun(t, e, `MATCH (n:L0 {k0: 3}) RETURN n.id`)
+	if r.Len() != 1 {
+		t.Fatalf("index scan result: %v", r)
+	}
+	found := false
+	for _, p := range e.PlanTrace() {
+		if strings.HasPrefix(p, "NodeIndexScan") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("planner must choose the index scan, trace: %v", e.PlanTrace())
+	}
+	// With the planner disabled the result is identical but the access
+	// path is a full scan (the ablation of §4 of DESIGN.md).
+	e2 := New(Options{DisablePlanner: true})
+	e2.LoadGraph(g, schema)
+	r2 := mustRun(t, e2, `MATCH (n:L0 {k0: 3}) RETURN n.id`)
+	if !r.Equal(r2) {
+		t.Error("planner must not change results")
+	}
+	for _, p := range e2.PlanTrace() {
+		if strings.HasPrefix(p, "NodeIndexScan") || p == "NodeByLabelScan" {
+			t.Errorf("disabled planner must not use indexes: %v", e2.PlanTrace())
+		}
+	}
+}
+
+func TestSelfLoopUndirectedMatchesOnce(t *testing.T) {
+	g := graph.New()
+	a := g.NewNode("A")
+	g.NewRel(a.ID, a.ID, "T")
+	e := NewReference()
+	e.LoadGraph(g, nil)
+	r := mustRun(t, e, `MATCH (x)-[r]-(y) RETURN r`)
+	if r.Len() != 1 {
+		t.Errorf("undirected self-loop must match once, got %d", r.Len())
+	}
+}
+
+func TestAnonymousPatternElements(t *testing.T) {
+	e := movieEngine(t)
+	r := mustRun(t, e, `MATCH (:USER {name: 'Alice'})-[]->()-[]-(other) RETURN count(*) AS c`)
+	if r.Len() != 1 {
+		t.Fatalf("anonymous elements: %v", r)
+	}
+}
+
+func TestResourceLimits(t *testing.T) {
+	g := graph.New()
+	a := g.NewNode("A")
+	b := g.NewNode("B")
+	for i := 0; i < 60; i++ {
+		g.NewRel(a.ID, b.ID, "T")
+		g.NewRel(b.ID, a.ID, "T")
+	}
+	e := New(Options{Limits: Limits{MaxRows: 100, MaxMatchSteps: 1_000_000}})
+	e.LoadGraph(g, nil)
+	_, err := e.Execute(`MATCH (a)-[r1]-(b)-[r2]-(c)-[r3]-(d) RETURN a`)
+	if err == nil {
+		t.Fatal("exploding match must hit the row limit")
+	}
+	if _, ok := err.(*ErrResourceLimit); !ok {
+		t.Fatalf("want ErrResourceLimit, got %v", err)
+	}
+}
+
+func TestWhereNullSemantics(t *testing.T) {
+	e := movieEngine(t)
+	// WHERE with unknown result filters the row (three-valued logic).
+	r := mustRun(t, e, `MATCH (m:MOVIE) WHERE m.missing > 1 RETURN m`)
+	if r.Len() != 0 {
+		t.Error("unknown predicate must filter")
+	}
+	r = mustRun(t, e, `MATCH (m:MOVIE) WHERE m.missing IS NULL RETURN m`)
+	if r.Len() != 2 {
+		t.Error("IS NULL must pass all movies")
+	}
+}
+
+func TestReturnLiteralOnly(t *testing.T) {
+	e := NewReference()
+	r := mustRun(t, e, `RETURN 1 + 1 AS two, 'x' AS s`)
+	if r.Len() != 1 || r.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("pure RETURN: %v", r)
+	}
+	// Unaliased non-variable items take their printed text as column name.
+	r = mustRun(t, e, `RETURN 1 + 1`)
+	if r.Columns[0] != "(1 + 1)" {
+		t.Errorf("column name = %q", r.Columns[0])
+	}
+}
+
+func TestWithRequiresAlias(t *testing.T) {
+	e := movieEngine(t)
+	if _, err := e.Execute(`MATCH (m:MOVIE) WITH m.name RETURN 1`); err == nil {
+		t.Error("WITH expression without alias must error")
+	}
+	if _, err := e.Execute(`MATCH (m:MOVIE) RETURN m.name AS a, m.year AS a`); err == nil {
+		t.Error("duplicate column must error")
+	}
+}
+
+func TestDuplicateRowsPreserved(t *testing.T) {
+	// Bag semantics: without DISTINCT duplicates are preserved.
+	e := NewReference()
+	r := mustRun(t, e, `UNWIND [1, 1, 1] AS x RETURN x`)
+	if r.Len() != 3 {
+		t.Error("bag semantics broken")
+	}
+}
+
+func TestResultEqual(t *testing.T) {
+	a := &Result{Columns: []string{"x"}, Rows: [][]value.Value{{value.Int(1)}, {value.Int(2)}}}
+	b := &Result{Columns: []string{"x"}, Rows: [][]value.Value{{value.Int(2)}, {value.Int(1)}}}
+	if !a.Equal(b) {
+		t.Error("Equal must be order-insensitive")
+	}
+	c := &Result{Columns: []string{"x"}, Rows: [][]value.Value{{value.Int(2)}, {value.Int(2)}}}
+	if a.Equal(c) {
+		t.Error("different multisets must differ")
+	}
+	d := &Result{Columns: []string{"y"}, Rows: b.Rows}
+	if a.Equal(d) {
+		t.Error("different columns must differ")
+	}
+	if a.RowMap(0)["x"].AsInt() != 1 {
+		t.Error("RowMap broken")
+	}
+}
+
+func TestFigure17Semantics(t *testing.T) {
+	// The FalkorDB UNWIND bug scenario: the reference engine must return
+	// all three rows.
+	g := graph.New()
+	n2 := g.NewNode("L12")
+	n3 := g.NewNode("L0")
+	rel, _ := g.NewRel(n2.ID, n3.ID, "T0")
+	e := NewReference()
+	e.LoadGraph(g, nil)
+	q := `UNWIND [1,2,3] AS a0 MATCH (n2 :L12)-[r1]-(n3) WHERE r1.id = ` +
+		value.Int(rel.ID).String() + ` RETURN a0`
+	r := mustRun(t, e, q)
+	if r.Len() != 3 {
+		t.Fatalf("expected 3 rows, got %v", r)
+	}
+}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"gqs/internal/value"
+)
+
+// Result is the output of a query: named columns and rows of values.
+// Row order is whatever the engine produced; Cypher guarantees order only
+// under ORDER BY, so result comparison should normally be order-insensitive
+// (see Equal and Canonical).
+type Result struct {
+	Columns []string
+	Rows    [][]value.Value
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// RowMap returns row i as a column-name-to-value map.
+func (r *Result) RowMap(i int) map[string]value.Value {
+	m := make(map[string]value.Value, len(r.Columns))
+	for j, c := range r.Columns {
+		m[c] = r.Rows[i][j]
+	}
+	return m
+}
+
+// rowKey returns a canonical encoding of one row.
+func (r *Result) rowKey(i int) string {
+	var sb strings.Builder
+	for _, v := range r.Rows[i] {
+		sb.WriteString(v.Key())
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// Canonical returns the multiset of row keys, sorted. Two results with the
+// same columns are semantically equal iff their canonical forms are equal.
+func (r *Result) Canonical() []string {
+	keys := make([]string, r.Len())
+	for i := range r.Rows {
+		keys[i] = r.rowKey(i)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Equal reports whether two results have the same columns and the same
+// multiset of rows (order-insensitive, using Cypher equivalence).
+func (r *Result) Equal(o *Result) bool {
+	if r.Len() != o.Len() || len(r.Columns) != len(o.Columns) {
+		return false
+	}
+	for i, c := range r.Columns {
+		if o.Columns[i] != c {
+			return false
+		}
+	}
+	a, b := r.Canonical(), o.Canonical()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the result as a compact table for debugging.
+func (r *Result) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Columns, " | "))
+	for _, row := range r.Rows {
+		sb.WriteByte('\n')
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(v.String())
+		}
+	}
+	return sb.String()
+}
+
+// row is the internal intermediate-status row: variable bindings.
+type row = map[string]value.Value
+
+func cloneRow(r row) row {
+	out := make(row, len(r)+2)
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}

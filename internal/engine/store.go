@@ -1,0 +1,325 @@
+// Package engine implements an in-memory Cypher query engine over the
+// labeled property graph model: storage with label and property indexes, a
+// logical planner with a small set of optimization passes (predicate
+// pushdown, index-scan selection, traversal-start selection), and a
+// clause-pipeline executor covering the eleven data-retrieval clauses and
+// subclauses plus the six update clauses (§2.2 of the GQS paper).
+//
+// The engine is the substrate substituting for the four production GDBs
+// the paper tests: the gdb package instantiates it once per simulated
+// system with that system's dialect quirks.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"gqs/internal/graph"
+	"gqs/internal/value"
+)
+
+// Store wraps a graph with the secondary indexes the engine maintains:
+// a label index (label -> node IDs) and the label+property indexes
+// declared by the schema, which the planner uses for index scans.
+type Store struct {
+	g         *graph.Graph
+	schema    *graph.Schema
+	labelIdx  map[string]map[graph.ID]struct{}
+	propIdx   map[graph.IndexSpec]map[string][]graph.ID // value.Key -> node IDs
+	indexable map[graph.IndexSpec]bool
+	// enforceSchema rejects property writes that deviate from the
+	// declared property types (Kùzu-style schema-first behaviour).
+	enforceSchema bool
+}
+
+// NewStore returns a store over an empty graph.
+func NewStore() *Store {
+	s := &Store{}
+	s.Reset(graph.New(), nil)
+	return s
+}
+
+// Reset replaces the store contents with a deep copy of g, rebuilding all
+// indexes. A nil schema declares no property indexes.
+func (s *Store) Reset(g *graph.Graph, schema *graph.Schema) {
+	s.g = g.Clone()
+	s.schema = schema
+	s.labelIdx = make(map[string]map[graph.ID]struct{})
+	s.propIdx = make(map[graph.IndexSpec]map[string][]graph.ID)
+	s.indexable = make(map[graph.IndexSpec]bool)
+	if schema != nil {
+		for _, idx := range schema.Indexes {
+			s.indexable[idx] = true
+			s.propIdx[idx] = make(map[string][]graph.ID)
+		}
+	}
+	for _, id := range s.g.NodeIDs() {
+		s.indexNode(s.g.Node(id))
+	}
+}
+
+// Graph exposes the underlying graph (owned by the store; callers must
+// mutate it only through the store).
+func (s *Store) Graph() *graph.Graph { return s.g }
+
+// Schema returns the schema the store was loaded with, or nil.
+func (s *Store) Schema() *graph.Schema { return s.schema }
+
+func (s *Store) indexNode(n *graph.Node) {
+	for _, l := range n.Labels {
+		set := s.labelIdx[l]
+		if set == nil {
+			set = make(map[graph.ID]struct{})
+			s.labelIdx[l] = set
+		}
+		set[n.ID] = struct{}{}
+		for spec := range s.indexable {
+			if spec.Label != l {
+				continue
+			}
+			if v, ok := n.Props[spec.Property]; ok {
+				k := v.Key()
+				s.propIdx[spec][k] = append(s.propIdx[spec][k], n.ID)
+			}
+		}
+	}
+}
+
+func (s *Store) unindexNode(n *graph.Node) {
+	for _, l := range n.Labels {
+		delete(s.labelIdx[l], n.ID)
+		for spec := range s.indexable {
+			if spec.Label != l {
+				continue
+			}
+			if v, ok := n.Props[spec.Property]; ok {
+				s.propIdx[spec][v.Key()] = removeGID(s.propIdx[spec][v.Key()], n.ID)
+			}
+		}
+	}
+}
+
+func removeGID(ids []graph.ID, id graph.ID) []graph.ID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// NodesByLabel returns the IDs of nodes carrying the label, ascending.
+func (s *Store) NodesByLabel(label string) []graph.ID {
+	set := s.labelIdx[label]
+	ids := make([]graph.ID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NodesByIndex returns node IDs from the label+property index for an
+// exact value, and whether such an index exists.
+func (s *Store) NodesByIndex(label, prop string, v value.Value) ([]graph.ID, bool) {
+	idx, ok := s.propIdx[graph.IndexSpec{Label: label, Property: prop}]
+	if !ok {
+		return nil, false
+	}
+	ids := append([]graph.ID(nil), idx[v.Key()]...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, true
+}
+
+// HasIndex reports whether a label+property index exists.
+func (s *Store) HasIndex(label, prop string) bool {
+	return s.indexable[graph.IndexSpec{Label: label, Property: prop}]
+}
+
+// CreateNode creates a node with the given labels and properties.
+func (s *Store) CreateNode(labels []string, props map[string]value.Value) *graph.Node {
+	n := s.g.NewNode(labels...)
+	for k, v := range props {
+		if !v.IsNull() {
+			n.Props[k] = v
+		}
+	}
+	s.indexNode(n)
+	return n
+}
+
+// CreateRel creates a relationship.
+func (s *Store) CreateRel(start, end graph.ID, typ string, props map[string]value.Value) (*graph.Rel, error) {
+	r, err := s.g.NewRel(start, end, typ)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range props {
+		if !v.IsNull() {
+			r.Props[k] = v
+		}
+	}
+	return r, nil
+}
+
+// CheckPropType validates a property write against the declared schema
+// when schema enforcement is on. The synthetic `id` property is exempt.
+func (s *Store) CheckPropType(name string, v value.Value) error {
+	if !s.enforceSchema || s.schema == nil || name == "id" || v.IsNull() {
+		return nil
+	}
+	want, declared := s.schema.Props[name]
+	if !declared {
+		return fmt.Errorf("schema: property %s is not declared", name)
+	}
+	var got graph.PropType
+	switch v.Kind() {
+	case value.KindInt:
+		got = graph.PropInt
+	case value.KindFloat:
+		got = graph.PropFloat
+	case value.KindString:
+		got = graph.PropString
+	case value.KindBool:
+		got = graph.PropBool
+	case value.KindList:
+		got = graph.PropStrList
+	default:
+		return fmt.Errorf("schema: cannot store a %s", v.Kind())
+	}
+	if got != want {
+		return fmt.Errorf("schema: property %s is declared %s, got %s", name, want, got)
+	}
+	return nil
+}
+
+// SetProp sets (or, for a null value, removes) a property on an entity,
+// maintaining the property indexes.
+func (s *Store) SetProp(id graph.ID, isRel bool, name string, v value.Value) error {
+	if err := s.CheckPropType(name, v); err != nil {
+		return err
+	}
+	if isRel {
+		r := s.g.Rel(id)
+		if r == nil {
+			return fmt.Errorf("relationship %d does not exist", id)
+		}
+		if v.IsNull() {
+			delete(r.Props, name)
+		} else {
+			r.Props[name] = v
+		}
+		return nil
+	}
+	n := s.g.Node(id)
+	if n == nil {
+		return fmt.Errorf("node %d does not exist", id)
+	}
+	s.unindexNode(n)
+	if v.IsNull() {
+		delete(n.Props, name)
+	} else {
+		n.Props[name] = v
+	}
+	s.indexNode(n)
+	return nil
+}
+
+// AddLabels adds labels to a node.
+func (s *Store) AddLabels(id graph.ID, labels []string) error {
+	n := s.g.Node(id)
+	if n == nil {
+		return fmt.Errorf("node %d does not exist", id)
+	}
+	s.unindexNode(n)
+	for _, l := range labels {
+		if !n.HasLabel(l) {
+			n.Labels = append(n.Labels, l)
+		}
+	}
+	s.indexNode(n)
+	return nil
+}
+
+// RemoveLabels removes labels from a node.
+func (s *Store) RemoveLabels(id graph.ID, labels []string) error {
+	n := s.g.Node(id)
+	if n == nil {
+		return fmt.Errorf("node %d does not exist", id)
+	}
+	s.unindexNode(n)
+	for _, l := range labels {
+		for i, x := range n.Labels {
+			if x == l {
+				n.Labels = append(n.Labels[:i], n.Labels[i+1:]...)
+				break
+			}
+		}
+	}
+	s.indexNode(n)
+	return nil
+}
+
+// DeleteNode deletes a node (detaching first if requested).
+func (s *Store) DeleteNode(id graph.ID, detach bool) error {
+	n := s.g.Node(id)
+	if n == nil {
+		return nil // deleting twice is a no-op, as in Cypher
+	}
+	s.unindexNode(n)
+	if err := s.g.DeleteNode(id, detach); err != nil {
+		s.indexNode(n)
+		return err
+	}
+	return nil
+}
+
+// DeleteRel deletes a relationship.
+func (s *Store) DeleteRel(id graph.ID) { s.g.DeleteRel(id) }
+
+// Labels returns all labels present in the store, sorted.
+func (s *Store) Labels() []string {
+	var out []string
+	for l, set := range s.labelIdx {
+		if len(set) > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelTypes returns all relationship types present, sorted.
+func (s *Store) RelTypes() []string {
+	set := map[string]struct{}{}
+	for _, id := range s.g.RelIDs() {
+		set[s.g.Rel(id).Type] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PropertyKeys returns all property names present, sorted.
+func (s *Store) PropertyKeys() []string {
+	set := map[string]struct{}{}
+	for _, id := range s.g.NodeIDs() {
+		for k := range s.g.Node(id).Props {
+			set[k] = struct{}{}
+		}
+	}
+	for _, id := range s.g.RelIDs() {
+		for k := range s.g.Rel(id).Props {
+			set[k] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"gqs/internal/graph"
+	"gqs/internal/value"
+)
+
+func TestStoreIndexesAfterLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 10, MaxRels: 30})
+	s := NewStore()
+	s.Reset(g, schema)
+	checkIndexConsistency(t, s)
+	// Declared indexes are queryable.
+	for _, idx := range schema.Indexes {
+		if !s.HasIndex(idx.Label, idx.Property) {
+			t.Errorf("index %v not registered", idx)
+		}
+	}
+	if s.HasIndex("NOPE", "k0") {
+		t.Error("undeclared index reported")
+	}
+}
+
+// checkIndexConsistency verifies the label index matches a from-scratch
+// recomputation.
+func checkIndexConsistency(t *testing.T, s *Store) {
+	t.Helper()
+	g := s.Graph()
+	want := map[string]map[graph.ID]bool{}
+	for _, id := range g.NodeIDs() {
+		for _, l := range g.Node(id).Labels {
+			if want[l] == nil {
+				want[l] = map[graph.ID]bool{}
+			}
+			want[l][id] = true
+		}
+	}
+	for l, ids := range want {
+		got := s.NodesByLabel(l)
+		if len(got) != len(ids) {
+			t.Fatalf("label %s: index has %d nodes, graph has %d", l, len(got), len(ids))
+		}
+		for _, id := range got {
+			if !ids[id] {
+				t.Fatalf("label %s: stale node %d in index", l, id)
+			}
+		}
+	}
+}
+
+// TestStoreIndexMaintenanceProperty applies random mutation sequences and
+// checks the label index never goes stale.
+func TestStoreIndexMaintenanceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 40; trial++ {
+		g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 6, MaxRels: 10})
+		s := NewStore()
+		s.Reset(g, schema)
+		for op := 0; op < 30; op++ {
+			ids := s.Graph().NodeIDs()
+			switch r.Intn(6) {
+			case 0:
+				s.CreateNode([]string{schema.Labels[r.Intn(len(schema.Labels))]},
+					map[string]value.Value{"k0": value.Int(int64(r.Intn(100)))})
+			case 1:
+				if len(ids) > 1 {
+					s.CreateRel(ids[r.Intn(len(ids))], ids[r.Intn(len(ids))], "T0", nil)
+				}
+			case 2:
+				if len(ids) > 0 {
+					s.AddLabels(ids[r.Intn(len(ids))], []string{schema.Labels[r.Intn(len(schema.Labels))]})
+				}
+			case 3:
+				if len(ids) > 0 {
+					n := s.Graph().Node(ids[r.Intn(len(ids))])
+					if len(n.Labels) > 0 {
+						s.RemoveLabels(n.ID, []string{n.Labels[0]})
+					}
+				}
+			case 4:
+				if len(ids) > 0 {
+					s.SetProp(ids[r.Intn(len(ids))], false, "k0", value.Int(int64(r.Intn(100))))
+				}
+			case 5:
+				if len(ids) > 0 {
+					s.DeleteNode(ids[r.Intn(len(ids))], true)
+				}
+			}
+		}
+		checkIndexConsistency(t, s)
+	}
+}
+
+func TestStorePropIndexTracksMutations(t *testing.T) {
+	g := graph.New()
+	schema := &graph.Schema{Indexes: []graph.IndexSpec{{Label: "L", Property: "k"}}}
+	s := NewStore()
+	s.Reset(g, schema)
+
+	n := s.CreateNode([]string{"L"}, map[string]value.Value{"k": value.Int(7)})
+	ids, ok := s.NodesByIndex("L", "k", value.Int(7))
+	if !ok || len(ids) != 1 || ids[0] != n.ID {
+		t.Fatalf("index after create: %v %v", ids, ok)
+	}
+	// Updating the property moves the entry.
+	s.SetProp(n.ID, false, "k", value.Int(8))
+	if ids, _ := s.NodesByIndex("L", "k", value.Int(7)); len(ids) != 0 {
+		t.Error("stale index entry after update")
+	}
+	if ids, _ := s.NodesByIndex("L", "k", value.Int(8)); len(ids) != 1 {
+		t.Error("missing index entry after update")
+	}
+	// Removing the label removes the entry.
+	s.RemoveLabels(n.ID, []string{"L"})
+	if ids, _ := s.NodesByIndex("L", "k", value.Int(8)); len(ids) != 0 {
+		t.Error("stale index entry after label removal")
+	}
+	// Null removes the property.
+	s.AddLabels(n.ID, []string{"L"})
+	s.SetProp(n.ID, false, "k", value.Null)
+	if _, ok := s.Graph().Node(n.ID).Props["k"]; ok {
+		t.Error("null SetProp must delete the property")
+	}
+}
+
+func TestStoreVocabularies(t *testing.T) {
+	e := NewReference()
+	mustRun(t, e, `CREATE (a:B {x: 1})-[:R2 {w: 1}]->(b:A {y: 2})`)
+	s := e.Store()
+	if got := s.Labels(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("Labels = %v", got)
+	}
+	if got := s.RelTypes(); len(got) != 1 || got[0] != "R2" {
+		t.Errorf("RelTypes = %v", got)
+	}
+	keys := s.PropertyKeys()
+	want := map[string]bool{"id": true, "x": true, "y": true, "w": true}
+	for _, k := range keys {
+		if !want[k] {
+			t.Errorf("unexpected property key %q", k)
+		}
+	}
+}
+
+// TestGraphCreateRoundTrip: exporting a random graph as a CREATE
+// statement and loading it into a fresh engine reproduces the same data
+// (modulo element IDs).
+func TestGraphCreateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 8, MaxRels: 20})
+
+		direct := NewReference()
+		direct.LoadGraph(g, schema)
+		loaded := NewReference()
+		if _, err := loaded.Execute(g.ToCypher()); err != nil {
+			t.Fatalf("trial %d: load: %v", trial, err)
+		}
+
+		for _, q := range []string{
+			`MATCH (n) RETURN count(*) AS c`,
+			`MATCH ()-[r]->() RETURN count(*) AS c`,
+			`MATCH (n) RETURN n.k0 AS v ORDER BY v`,
+			`MATCH ()-[r]->() WITH r.k1 AS v WHERE v IS NOT NULL RETURN count(*) AS c`,
+			`MATCH (n:L0) RETURN count(*) AS c`,
+		} {
+			a, errA := direct.Execute(q)
+			b, errB := loaded.Execute(q)
+			if errA != nil || errB != nil {
+				t.Fatalf("trial %d: %v / %v", trial, errA, errB)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("trial %d: %s diverged:\n%s\nvs\n%s", trial, q, a, b)
+			}
+		}
+	}
+}

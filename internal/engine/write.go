@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"fmt"
+
+	"gqs/internal/cypher/ast"
+	"gqs/internal/graph"
+	"gqs/internal/value"
+)
+
+// execCreate instantiates the patterns for every input row. Bound node
+// variables are reused; everything else is created.
+func (e *Engine) execCreate(c *ast.CreateClause, in []row) ([]row, error) {
+	var out []row
+	for _, r := range in {
+		nr := cloneRow(r)
+		for _, p := range c.Patterns {
+			if err := e.createPattern(p, nr); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
+func (e *Engine) createPattern(p *ast.PatternPart, r row) error {
+	ids := make([]graph.ID, len(p.Nodes))
+	for i, np := range p.Nodes {
+		if np.Variable != "" {
+			if v, bound := r[np.Variable]; bound {
+				if v.Kind() != value.KindNode {
+					return fmt.Errorf("CREATE: %s is bound to a %s, not a node", np.Variable, v.Kind())
+				}
+				if len(np.Labels) > 0 || np.Props != nil {
+					return fmt.Errorf("CREATE: cannot add labels or properties to bound variable %s", np.Variable)
+				}
+				ids[i] = v.EntityID()
+				continue
+			}
+		}
+		props, err := e.evalPropMap(np.Props, r)
+		if err != nil {
+			return err
+		}
+		n := e.store.CreateNode(np.Labels, props)
+		ids[i] = n.ID
+		if np.Variable != "" {
+			r[np.Variable] = value.Node(n.ID)
+		}
+	}
+	for i, rp := range p.Rels {
+		if rp.Variable != "" {
+			if _, bound := r[rp.Variable]; bound {
+				return fmt.Errorf("CREATE: relationship variable %s is already bound", rp.Variable)
+			}
+		}
+		if len(rp.Types) != 1 {
+			return fmt.Errorf("CREATE requires exactly one relationship type")
+		}
+		start, end := ids[i], ids[i+1]
+		switch rp.Direction {
+		case ast.DirLeft:
+			start, end = end, start
+		case ast.DirRight:
+			// as written
+		default:
+			return fmt.Errorf("CREATE requires a directed relationship")
+		}
+		props, err := e.evalPropMap(rp.Props, r)
+		if err != nil {
+			return err
+		}
+		rel, err := e.store.CreateRel(start, end, rp.Types[0], props)
+		if err != nil {
+			return err
+		}
+		if rp.Variable != "" {
+			r[rp.Variable] = value.Rel(rel.ID)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) evalPropMap(m *ast.MapLit, r row) (map[string]value.Value, error) {
+	if m == nil {
+		return nil, nil
+	}
+	out := make(map[string]value.Value, len(m.Keys))
+	for i, k := range m.Keys {
+		v, err := e.evalIn(r, m.Vals[i])
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// execSet applies SET items to every input row.
+func (e *Engine) execSet(items []*ast.SetItem, in []row) error {
+	for _, r := range in {
+		for _, it := range items {
+			if err := e.applySetItem(it, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) applySetItem(it *ast.SetItem, r row) error {
+	if len(it.Labels) > 0 {
+		v, bound := r[it.Variable]
+		if !bound {
+			return fmt.Errorf("SET: variable %s is not in scope", it.Variable)
+		}
+		if v.IsNull() {
+			return nil // SET on a null (from OPTIONAL MATCH) is a no-op
+		}
+		if v.Kind() != value.KindNode {
+			return fmt.Errorf("SET: cannot add labels to a %s", v.Kind())
+		}
+		return e.store.AddLabels(v.EntityID(), it.Labels)
+	}
+	subj, err := e.evalIn(r, it.Subject)
+	if err != nil {
+		return err
+	}
+	if subj.IsNull() {
+		return nil
+	}
+	if !subj.IsEntity() {
+		return fmt.Errorf("SET: cannot set property on a %s", subj.Kind())
+	}
+	v, err := e.evalIn(r, it.Value)
+	if err != nil {
+		return err
+	}
+	return e.store.SetProp(subj.EntityID(), subj.Kind() == value.KindRel, it.Property, v)
+}
+
+// execRemove removes properties or labels.
+func (e *Engine) execRemove(c *ast.RemoveClause, in []row) error {
+	for _, r := range in {
+		for _, it := range c.Items {
+			if len(it.Labels) > 0 {
+				v, bound := r[it.Variable]
+				if !bound {
+					return fmt.Errorf("REMOVE: variable %s is not in scope", it.Variable)
+				}
+				if v.IsNull() {
+					continue
+				}
+				if v.Kind() != value.KindNode {
+					return fmt.Errorf("REMOVE: cannot remove labels from a %s", v.Kind())
+				}
+				if err := e.store.RemoveLabels(v.EntityID(), it.Labels); err != nil {
+					return err
+				}
+				continue
+			}
+			subj, err := e.evalIn(r, it.Subject)
+			if err != nil {
+				return err
+			}
+			if subj.IsNull() {
+				continue
+			}
+			if !subj.IsEntity() {
+				return fmt.Errorf("REMOVE: cannot remove property from a %s", subj.Kind())
+			}
+			if err := e.store.SetProp(subj.EntityID(), subj.Kind() == value.KindRel, it.Property, value.Null); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// execDelete deletes entities. DETACH DELETE removes incident
+// relationships first; plain DELETE of a still-connected node is an
+// error, as in Cypher.
+func (e *Engine) execDelete(c *ast.DeleteClause, in []row) error {
+	// Gather first: deleting while other rows still reference the
+	// entities must behave like Cypher's snapshot semantics.
+	var nodes []graph.ID
+	var rels []graph.ID
+	for _, r := range in {
+		for _, x := range c.Exprs {
+			v, err := e.evalIn(r, x)
+			if err != nil {
+				return err
+			}
+			switch v.Kind() {
+			case value.KindNull:
+			case value.KindNode:
+				nodes = append(nodes, v.EntityID())
+			case value.KindRel:
+				rels = append(rels, v.EntityID())
+			default:
+				return fmt.Errorf("DELETE: cannot delete a %s", v.Kind())
+			}
+		}
+	}
+	for _, id := range rels {
+		e.store.DeleteRel(id)
+	}
+	for _, id := range nodes {
+		if err := e.store.DeleteNode(id, c.Detach); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execMerge matches the pattern and, when nothing matches, creates it
+// (§2.2: MERGE acts as MATCH-or-CREATE), applying ON MATCH / ON CREATE.
+func (e *Engine) execMerge(c *ast.MergeClause, in []row) ([]row, error) {
+	var out []row
+	steps := 0
+	for _, r := range in {
+		m := &matcher{
+			engine:   e,
+			patterns: []*ast.PatternPart{c.Pattern},
+			uniq:     e.opts.Dialect.RelUniqueness,
+			used:     map[graph.ID]bool{},
+			env:      cloneRow(r),
+			steps:    &steps,
+			maxSteps: e.opts.Limits.MaxMatchSteps,
+		}
+		var matches []row
+		if err := m.run(func(env row) error {
+			matches = append(matches, visibleRow(env))
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if len(matches) > 0 {
+			if err := e.execSet(c.OnMatch, matches); err != nil {
+				return nil, err
+			}
+			out = append(out, matches...)
+			continue
+		}
+		nr := cloneRow(r)
+		if err := e.createPattern(mergeCreatable(c.Pattern), nr); err != nil {
+			return nil, err
+		}
+		if err := e.execSet(c.OnCreate, []row{nr}); err != nil {
+			return nil, err
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
+// mergeCreatable normalizes a MERGE pattern for creation: undirected
+// relationships are created left-to-right, as Neo4j does.
+func mergeCreatable(p *ast.PatternPart) *ast.PatternPart {
+	changed := false
+	rels := make([]*ast.RelPattern, len(p.Rels))
+	for i, r := range p.Rels {
+		if r.Direction == ast.DirBoth {
+			cp := *r
+			cp.Direction = ast.DirRight
+			rels[i] = &cp
+			changed = true
+		} else {
+			rels[i] = r
+		}
+	}
+	if !changed {
+		return p
+	}
+	return &ast.PatternPart{Variable: p.Variable, Nodes: p.Nodes, Rels: rels}
+}

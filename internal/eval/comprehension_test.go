@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"testing"
+
+	"gqs/internal/cypher/parser"
+	"gqs/internal/value"
+)
+
+func evalExprStr(t *testing.T, src string, env map[string]value.Value) (value.Value, error) {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if env == nil {
+		env = map[string]value.Value{}
+	}
+	return Eval(&Ctx{Env: env}, e)
+}
+
+func TestListComprehensionEval(t *testing.T) {
+	cases := map[string]value.Value{
+		`[x IN [1, 2, 3] | x * 2]`:              value.List(value.Int(2), value.Int(4), value.Int(6)),
+		`[x IN [1, 2, 3] WHERE x > 1]`:          value.List(value.Int(2), value.Int(3)),
+		`[x IN [1, 2, 3] WHERE x > 1 | -x]`:     value.List(value.Int(-2), value.Int(-3)),
+		`[x IN []]`:                             value.List(),
+		`size([x IN [1, null, 3] WHERE x > 0])`: value.Int(2),
+		`[x IN [[1], [2, 3]] | size(x)]`:        value.List(value.Int(1), value.Int(2)),
+	}
+	for src, want := range cases {
+		got, err := evalExprStr(t, src, nil)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if !value.Equivalent(got, want) {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+	// Null list yields null.
+	if got, err := evalExprStr(t, `[x IN null | x]`, nil); err != nil || !got.IsNull() {
+		t.Errorf("comprehension over null = %v, %v", got, err)
+	}
+	// Non-list is a type error.
+	if _, err := evalExprStr(t, `[x IN 5 | x]`, nil); err == nil {
+		t.Error("comprehension over scalar must error")
+	}
+}
+
+func TestComprehensionShadowing(t *testing.T) {
+	env := map[string]value.Value{"x": value.Int(100)}
+	got, err := evalExprStr(t, `[x IN [1, 2] | x] + x`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [1,2] + 100 appends: [1, 2, 100]; the outer x must be restored.
+	want := value.List(value.Int(1), value.Int(2), value.Int(100))
+	if !value.Equivalent(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if env["x"].AsInt() != 100 {
+		t.Error("outer binding not restored")
+	}
+}
+
+func TestQuantifierEval(t *testing.T) {
+	T, F := value.True, value.False
+	cases := map[string]value.Value{
+		`all(x IN [1, 2] WHERE x > 0)`:      T,
+		`all(x IN [1, -2] WHERE x > 0)`:     F,
+		`all(x IN [] WHERE x > 0)`:          T,
+		`any(x IN [1, -2] WHERE x > 0)`:     T,
+		`any(x IN [-1, -2] WHERE x > 0)`:    F,
+		`any(x IN [] WHERE x > 0)`:          F,
+		`none(x IN [-1] WHERE x > 0)`:       T,
+		`none(x IN [1] WHERE x > 0)`:        F,
+		`single(x IN [1, -2] WHERE x > 0)`:  T,
+		`single(x IN [1, 2] WHERE x > 0)`:   F,
+		`single(x IN [-1, -2] WHERE x > 0)`: F,
+	}
+	for src, want := range cases {
+		got, err := evalExprStr(t, src, nil)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if !value.Equivalent(got, want) {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+	// Unknown propagation.
+	for src, wantNull := range map[string]bool{
+		`all(x IN [1, null] WHERE x > 0)`:    true,  // no false, one unknown
+		`all(x IN [-1, null] WHERE x > 0)`:   false, // a false decides
+		`any(x IN [null, 1] WHERE x > 0)`:    false, // a true decides
+		`any(x IN [null, -1] WHERE x > 0)`:   true,
+		`single(x IN [1, null] WHERE x > 0)`: true,
+		`none(x IN [null] WHERE x > 0)`:      true,
+	} {
+		got, err := evalExprStr(t, src, nil)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if got.IsNull() != wantNull {
+			t.Errorf("%s = %v, wantNull=%v", src, got, wantNull)
+		}
+	}
+	// Quantifier over null list is null.
+	if got, err := evalExprStr(t, `any(x IN null WHERE x = 1)`, nil); err != nil || !got.IsNull() {
+		t.Errorf("quantifier over null = %v, %v", got, err)
+	}
+}
+
+func TestComprehensionInQuery(t *testing.T) {
+	// End to end through the engine-facing eval path: WHERE with a
+	// quantifier over a stored list property.
+	e, err := parser.ParseExpr(`any(g IN genres WHERE g = 'Drama')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]value.Value{"genres": value.List(value.Str("Drama"), value.Str("Crime"))}
+	got, err := Eval(&Ctx{Env: env}, e)
+	if err != nil || !got.AsBool() {
+		t.Errorf("quantifier over property = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"testing"
+
+	"gqs/internal/faults"
+)
+
+// TestFullCatalogDiscoverable is the Table 3 headline: a sufficiently
+// long GQS campaign discovers every injected fault — all 36 bugs, as in
+// the paper.
+func TestFullCatalogDiscoverable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long campaign")
+	}
+	cfg := DefaultCampaignConfig()
+	cfg.Iterations = 150
+	c := RunGQSCampaign(cfg)
+	found := map[string]bool{}
+	for _, f := range c.Findings {
+		found[f.Bug.ID] = true
+	}
+	missing := 0
+	for _, set := range faults.Catalogs() {
+		for _, b := range set.Bugs {
+			if !found[b.ID] {
+				missing++
+				t.Errorf("bug %s (%s) not discovered: trigger %+v", b.ID, b.Description, b.Trigger)
+			}
+		}
+	}
+	if missing == 0 && len(c.Findings) != 36 {
+		t.Errorf("found %d findings, want 36", len(c.Findings))
+	}
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallCampaign runs a reduced GQS campaign once per test binary.
+var cachedCampaign *Campaign
+
+func smallCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	if cachedCampaign == nil {
+		cfg := DefaultCampaignConfig()
+		cfg.Iterations = 25
+		cachedCampaign = RunGQSCampaign(cfg)
+	}
+	return cachedCampaign
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf)
+	out := buf.String()
+	for _, want := range []string{"neo4j", "memgraph", "kuzu", "falkordb", "2007"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCampaignFindsBugsOnAllGDBs(t *testing.T) {
+	c := smallCampaign(t)
+	if len(c.Findings) < 8 {
+		t.Fatalf("campaign found only %d bugs: %v", len(c.Findings), c.SortedBugIDs())
+	}
+	byGDB := c.ByGDB()
+	for _, g := range []string{"neo4j", "memgraph", "kuzu", "falkordb"} {
+		if len(byGDB[g]) == 0 {
+			t.Errorf("no bugs found on %s", g)
+		}
+	}
+	// FalkorDB must yield the most (13 logic + 4 other injected).
+	if len(byGDB["falkordb"]) < len(byGDB["neo4j"]) {
+		t.Errorf("falkordb (%d) should out-bug neo4j (%d)", len(byGDB["falkordb"]), len(byGDB["neo4j"]))
+	}
+	if len(c.LogicFindings()) == 0 {
+		t.Error("no logic bugs found")
+	}
+	// No duplicate findings.
+	seen := map[string]bool{}
+	for _, id := range c.SortedBugIDs() {
+		if seen[id] {
+			t.Errorf("duplicate finding %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := DefaultCampaignConfig()
+	cfg.Iterations = 4
+	Table3(&buf, cfg)
+	if !strings.Contains(buf.String(), "Table 3") || !strings.Contains(buf.String(), "total") {
+		t.Errorf("Table 3 rendering broken:\n%s", buf.String())
+	}
+}
+
+func TestTable4Latency(t *testing.T) {
+	c := smallCampaign(t)
+	var buf bytes.Buffer
+	Table4(&buf, c)
+	out := buf.String()
+	if !strings.Contains(out, "gdsmith") || !strings.Contains(out, "avg latency") {
+		t.Errorf("Table 4 broken:\n%s", out)
+	}
+	// GDBMeter/Gamera/GQT must show "-" for Memgraph.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "gdbmeter") && !strings.Contains(line, "-") {
+			t.Errorf("gdbmeter memgraph column must be '-': %s", line)
+		}
+	}
+}
+
+func TestOracleReplayShape(t *testing.T) {
+	c := smallCampaign(t)
+	var buf bytes.Buffer
+	gm, gr, total := OracleReplay(&buf, c)
+	if total == 0 {
+		t.Skip("no logic bugs in the small campaign")
+	}
+	if gm > total || gr > total {
+		t.Fatalf("caught more than total: %d/%d/%d", gm, gr, total)
+	}
+	// The headline claim: both oracles miss bugs that GQS exposes.
+	if gm == total && gr == total {
+		t.Errorf("prior oracles caught everything (%d/%d and %d/%d); blind spots not reproduced",
+			gm, total, gr, total)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Table5(&buf, 60, 7)
+	byName := map[string]Table5Row{}
+	for _, r := range rows {
+		byName[r.Tester] = r
+	}
+	gqs, gdbmeter, grev := byName["gqs"], byName["gdbmeter"], byName["grev"]
+	if gqs.Patterns <= gdbmeter.Patterns || gqs.Deps <= gdbmeter.Deps || gqs.Depth <= gdbmeter.Depth {
+		t.Errorf("GQS must dominate GDBMeter: %+v vs %+v", gqs, gdbmeter)
+	}
+	if gqs.Deps <= grev.Deps {
+		t.Errorf("GQS dependencies (%.1f) must exceed GRev (%.1f)", gqs.Deps, grev.Deps)
+	}
+	if gqs.Patterns < 3 || gqs.Depth < 5 {
+		t.Errorf("GQS complexity too low: %+v", gqs)
+	}
+}
+
+func TestTable6AndFig18(t *testing.T) {
+	var buf bytes.Buffer
+	campaigns := Table6(&buf, 200, 3)
+	gqsTotal, bestBaseline := 0, 0
+	for tester, per := range campaigns {
+		n := 0
+		for _, tc := range per {
+			n += len(tc.Found)
+		}
+		if tester == "gqs" {
+			gqsTotal = n
+		} else if n > bestBaseline {
+			bestBaseline = n
+		}
+	}
+	if gqsTotal == 0 {
+		t.Fatalf("GQS found nothing:\n%s", buf.String())
+	}
+	if gqsTotal < bestBaseline {
+		t.Errorf("GQS (%d) must lead the baselines (best %d):\n%s", gqsTotal, bestBaseline, buf.String())
+	}
+	Fig18(&buf, campaigns, 200)
+	if !strings.Contains(buf.String(), "Figure 18") {
+		t.Error("Fig18 rendering broken")
+	}
+}
+
+func TestFalseAlarms(t *testing.T) {
+	var buf bytes.Buffer
+	reports, fps := FalseAlarms(&buf, 150, 5)
+	if reports == 0 {
+		t.Fatalf("differential testing produced no reports:\n%s", buf.String())
+	}
+	if float64(fps)/float64(reports) < 0.5 {
+		t.Errorf("false-positive rate %.0f%% too low to reproduce the ~98%% finding (%d/%d)",
+			100*float64(fps)/float64(reports), fps, reports)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	c := smallCampaign(t)
+	var buf bytes.Buffer
+	bySteps := Fig10(&buf, c)
+	if len(bySteps) == 0 {
+		t.Error("Fig10 empty")
+	}
+	if agg := Fig11(&buf, c); agg["MATCH"] == 0 {
+		t.Error("Fig11: MATCH must appear")
+	}
+	if agg := Fig12(&buf, c); agg["WHERE"] == 0 {
+		t.Error("Fig12: WHERE must appear")
+	}
+	Fig13(&buf, c)
+	Fig14(&buf, c)
+	Fig15(&buf, c)
+	for _, want := range []string{"Figure 10", "Figure 11", "Figure 12", "Figure 13", "Figure 14", "Figure 15"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %s in output", want)
+		}
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	results := Ablation(&buf, 12, 9)
+	byName := map[string]AblationResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	full := byName["full"]
+	if full.Bugs == 0 {
+		t.Fatalf("full variant found nothing:\n%s", buf.String())
+	}
+	// The robust ablation claim: packing the plan into the fewest steps
+	// reduces the bug yield. (The other knobs are within per-seed noise
+	// at small budgets; see EXPERIMENTS.md.)
+	if two := byName["two-steps"]; two.Bugs >= full.Bugs {
+		t.Errorf("two-step synthesis (%d) should find fewer bugs than full (%d)", two.Bugs, full.Bugs)
+	}
+}

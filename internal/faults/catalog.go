@@ -1,0 +1,266 @@
+package faults
+
+// The injected-fault catalog. The per-GDB counts reproduce Table 3 of
+// the paper (26 logic + 10 other bugs; confirmed/fixed as reported), the
+// introduction ages reproduce the Table 4 latency analysis, and the
+// trigger predicates are shaped so that the feature distributions of
+// bug-triggering queries match Figures 10–15: most bugs need ≥3 clauses,
+// >3 patterns, >5 levels of nesting, or >20 cross-clause references.
+//
+// Each bug is modelled on a bug class the paper documents; the Figure
+// references are noted inline.
+
+// Catalogs returns the catalog for each simulated GDB.
+func Catalogs() map[string]*Set {
+	return map[string]*Set{
+		"neo4j":    Neo4j(),
+		"memgraph": Memgraph(),
+		"kuzu":     Kuzu(),
+		"falkordb": FalkorDB(),
+	}
+}
+
+// Neo4j returns the Neo4j fault catalog: 2 logic + 3 other bugs, all
+// confirmed and fixed (Table 3).
+func Neo4j() *Set {
+	return &Set{GDB: "neo4j", Bugs: []*Bug{
+		{
+			ID: "N4J-O3", GDB: "neo4j", Kind: Exception,
+			Description:        "codegen exception for reverse() under deep nesting",
+			Trigger:            Trigger{MinDepth: 10, Func: "reverse", MinClauses: 4, HashMod: 7, HashEq: 3},
+			IntroducedYearsAgo: 0.2, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "N4J-O2", GDB: "neo4j", Kind: Crash,
+			Description:        "crash when UNION combines two multi-clause queries with many references",
+			Trigger:            Trigger{MinClauses: 8, MinRefs: 24, Union: true, HashMod: 2, HashEq: 0},
+			IntroducedYearsAgo: 0.3, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "N4J-O1", GDB: "neo4j", Kind: Exception,
+			Description:        "internal planner exception on deeply nested boolean expressions",
+			Trigger:            Trigger{MinClauses: 5, MinDepth: 12, MinRefs: 18, HashMod: 7, HashEq: 2},
+			IntroducedYearsAgo: 0.5, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "N4J-L2", GDB: "neo4j", Kind: Logic, Manifest: NullValue,
+			Description:        "ORDER BY after WITH pipeline with heavy cross-clause references nulls a projected column",
+			Trigger:            Trigger{MinClauses: 5, MinDepth: 5, MinRefs: 20, Clause: "WITH", OrderBy: true, HashMod: 5, HashEq: 0},
+			IntroducedYearsAgo: 1.5, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "N4J-L1", GDB: "neo4j", Kind: Logic, Manifest: WrongValue,
+			Description:        "projection returns another element's property when UNWIND separates two MATCH clauses with many patterns (Figure 7)",
+			Trigger:            Trigger{MinClauses: 4, MinPatterns: 5, MinDepth: 4, MinRefs: 12, Clause: "UNWIND", HashMod: 5, HashEq: 1},
+			IntroducedYearsAgo: 2.7, Confirmed: true, Fixed: true,
+		},
+	}}
+}
+
+// Memgraph returns the Memgraph fault catalog: 6 logic (1 fixed) + 1
+// other bug, all confirmed (Table 3).
+func Memgraph() *Set {
+	return &Set{GDB: "memgraph", Bugs: []*Bug{
+		{
+			ID: "MG-O1", GDB: "memgraph", Kind: Hang,
+			Description:        "replace() with an empty search string loops and exhausts memory (Figure 9; latent for over three years)",
+			Trigger:            Trigger{ReplaceEmpty: true},
+			IntroducedYearsAgo: 3.4, Confirmed: true, Fixed: false,
+		},
+		{
+			ID: "MG-L6", GDB: "memgraph", Kind: Logic, Manifest: DuplicateRow,
+			Description:        "UNION of pattern-heavy branches duplicates a row",
+			Trigger:            Trigger{MinPatterns: 3, Union: true, HashMod: 2, HashEq: 0},
+			IntroducedYearsAgo: 0.4, Confirmed: true, Fixed: false,
+		},
+		{
+			ID: "MG-L5", GDB: "memgraph", Kind: Logic, Manifest: WrongValue,
+			Description:        "coalesce in deeply nested expressions evaluates the wrong branch",
+			Trigger:            Trigger{MinDepth: 6, MinRefs: 10, Func: "coalesce", HashMod: 5, HashEq: 0},
+			IntroducedYearsAgo: 0.5, Confirmed: true, Fixed: false,
+		},
+		{
+			ID: "MG-L4", GDB: "memgraph", Kind: Logic, Manifest: DropRows,
+			Description:        "UNWIND under ORDER BY fetches only the first expansion",
+			Trigger:            Trigger{MinClauses: 5, Clause: "UNWIND", OrderBy: true, HashMod: 2, HashEq: 1},
+			IntroducedYearsAgo: 0.7, Confirmed: true, Fixed: false,
+		},
+		{
+			ID: "MG-L3", GDB: "memgraph", Kind: Logic, Manifest: WrongValue,
+			Description:        "DISTINCT over many patterns returns a stale property value",
+			Trigger:            Trigger{MinPatterns: 4, MinRefs: 18, Distinct: true, HashMod: 5, HashEq: 1},
+			IntroducedYearsAgo: 0.8, Confirmed: true, Fixed: false,
+		},
+		{
+			ID: "MG-L1", GDB: "memgraph", Kind: Logic, Manifest: EmptyResult,
+			Description:        "Cartesian-product optimization combined with filter pushdown drops all rows (Figure 8; fixed after six months)",
+			Trigger:            Trigger{MinClauses: 5, MinPatterns: 3, MinRefs: 15, OrderBy: true, HashMod: 3, HashEq: 1},
+			IntroducedYearsAgo: 3.3, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "MG-L2", GDB: "memgraph", Kind: Logic, Manifest: EmptyResult,
+			Description:        "WITH-pipelined predicate evaluation yields an empty result (Figure 16)",
+			Trigger:            Trigger{MinClauses: 3, MinDepth: 3, MinRefs: 10, Clause: "WITH", HashMod: 9, HashEq: 2},
+			IntroducedYearsAgo: 0.9, Confirmed: true, Fixed: false,
+		},
+	}}
+}
+
+// Kuzu returns the Kùzu fault catalog: 5 logic + 2 other bugs, all
+// confirmed and fixed (Table 3). Kùzu is young, so all ages are small.
+func Kuzu() *Set {
+	return &Set{GDB: "kuzu", Bugs: []*Bug{
+		{
+			ID: "KZ-O2", GDB: "kuzu", Kind: Exception,
+			Description:        "left() under deep nesting raises an internal exception",
+			Trigger:            Trigger{MinDepth: 6, Func: "left", HashMod: 17, HashEq: 4},
+			IntroducedYearsAgo: 0.4, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "KZ-L2", GDB: "kuzu", Kind: Logic, Manifest: WrongValue,
+			Description:        "toInteger on nested expressions truncates through an unsafe cast",
+			Trigger:            Trigger{MinDepth: 5, Func: "toInteger", HashMod: 5, HashEq: 1},
+			IntroducedYearsAgo: 1.2, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "KZ-L5", GDB: "kuzu", Kind: Logic, Manifest: DropRows,
+			Description:        "UNWIND expansions after multiple patterns lose rows",
+			Trigger:            Trigger{MinClauses: 4, MinPatterns: 3, Clause: "UNWIND", HashMod: 3, HashEq: 0},
+			IntroducedYearsAgo: 0.6, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "KZ-L4", GDB: "kuzu", Kind: Logic, Manifest: NullValue,
+			Description:        "OPTIONAL MATCH wrongly nulls a bound column",
+			Trigger:            Trigger{MinRefs: 12, Clause: "OPTIONAL MATCH", HashMod: 3, HashEq: 1},
+			IntroducedYearsAgo: 0.8, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "KZ-O1", GDB: "kuzu", Kind: Crash,
+			Description:        "crash compiling deep expressions over many patterns",
+			Trigger:            Trigger{MinDepth: 9, MinPatterns: 4, MinRefs: 16, HashMod: 7, HashEq: 1},
+			IntroducedYearsAgo: 0.5, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "KZ-L3", GDB: "kuzu", Kind: Logic, Manifest: EmptyResult,
+			Description:        "many-pattern joins with heavy cross-references drop all rows",
+			Trigger:            Trigger{MinPatterns: 5, MinRefs: 20, HashMod: 5, HashEq: 0},
+			IntroducedYearsAgo: 1.0, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "KZ-L1", GDB: "kuzu", Kind: Logic, Manifest: WrongValue,
+			Description:        "common binary-operator helper corrupts results under deep nesting (unsafe type usage; §5.2)",
+			Trigger:            Trigger{MinClauses: 3, MinDepth: 6, MinRefs: 5, HashMod: 9, HashEq: 3},
+			IntroducedYearsAgo: 1.4, Confirmed: true, Fixed: true,
+		},
+	}}
+}
+
+// FalkorDB returns the FalkorDB fault catalog: 13 logic (4 confirmed) +
+// 4 other (2 confirmed, 1 fixed) bugs; most predate the versions prior
+// testers exercised (as RedisGraph), giving the long Table 4 latencies.
+func FalkorDB() *Set {
+	return &Set{GDB: "falkordb", Bugs: []*Bug{
+		{
+			ID: "FK-O2", GDB: "falkordb", Kind: Hang,
+			Description:        "replace() under deep nesting spins",
+			Trigger:            Trigger{MinDepth: 6, Func: "replace", HashMod: 2, HashEq: 0},
+			IntroducedYearsAgo: 4.4, Confirmed: true, Fixed: false,
+		},
+		{
+			ID: "FK-L2", GDB: "falkordb", Kind: Logic, Manifest: DropRows,
+			Description:        "UNWIND before MATCH fetches only the first record (Figure 17; latest release)",
+			Trigger:            Trigger{UnwindBeforeMatch: true},
+			IntroducedYearsAgo: 0.4, Confirmed: true, Fixed: false,
+		},
+		{
+			ID: "FK-L3", GDB: "falkordb", Kind: Logic, Manifest: WrongValue,
+			Description:        "endNode() on reused relationship variables resolves the wrong endpoint",
+			Trigger:            Trigger{Func: "endNode", MinClauses: 3, HashMod: 3, HashEq: 0},
+			IntroducedYearsAgo: 4.8, Confirmed: true, Fixed: false,
+		},
+		{
+			ID: "FK-L10", GDB: "falkordb", Kind: Logic, Manifest: WrongValue,
+			Description:        "toString of deeply nested expressions emits the wrong digits",
+			Trigger:            Trigger{MinDepth: 7, Func: "toString", HashMod: 5, HashEq: 1},
+			IntroducedYearsAgo: 3.9, Confirmed: false, Fixed: false,
+		},
+		{
+			ID: "FK-L13", GDB: "falkordb", Kind: Logic, Manifest: NullValue,
+			Description:        "coalesce over many patterns returns null despite non-null branches",
+			Trigger:            Trigger{MinPatterns: 4, Func: "coalesce", HashMod: 3, HashEq: 0},
+			IntroducedYearsAgo: 1.8, Confirmed: false, Fixed: false,
+		},
+		{
+			ID: "FK-O3", GDB: "falkordb", Kind: Exception,
+			Description:        "expression stack overflow beyond ten nesting levels",
+			Trigger:            Trigger{MinDepth: 13, HashMod: 7, HashEq: 4},
+			IntroducedYearsAgo: 3.5, Confirmed: false, Fixed: false,
+		},
+		{
+			ID: "FK-O4", GDB: "falkordb", Kind: Exception,
+			Description:        "CALL procedures raise after a preceding multi-clause pipeline",
+			Trigger:            Trigger{Clause: "CALL", MinClauses: 6, HashMod: 3, HashEq: 2},
+			IntroducedYearsAgo: 3.3, Confirmed: false, Fixed: false,
+		},
+		{
+			ID: "FK-L9", GDB: "falkordb", Kind: Logic, Manifest: EmptyResult,
+			Description:        "UNION deduplication discards every row",
+			Trigger:            Trigger{Union: true, MinClauses: 4, HashMod: 2, HashEq: 0},
+			IntroducedYearsAgo: 4.0, Confirmed: false, Fixed: false,
+		},
+		{
+			ID: "FK-O1", GDB: "falkordb", Kind: Crash,
+			Description:        "crash on seven-pattern cartesian plans (the five-year latent bug)",
+			Trigger:            Trigger{MinPatterns: 7, HashMod: 7, HashEq: 0},
+			IntroducedYearsAgo: 5.0, Confirmed: true, Fixed: true,
+		},
+		{
+			ID: "FK-L11", GDB: "falkordb", Kind: Logic, Manifest: DropRows,
+			Description:        "LIMIT applied one pipeline stage too early",
+			Trigger:            Trigger{MinClauses: 4, Clause: "LIMIT", HashMod: 3, HashEq: 1},
+			IntroducedYearsAgo: 3.8, Confirmed: false, Fixed: false,
+		},
+		{
+			ID: "FK-L7", GDB: "falkordb", Kind: Logic, Manifest: DuplicateRow,
+			Description:        "six-pattern joins with heavy references duplicate a result row",
+			Trigger:            Trigger{MinPatterns: 6, MinRefs: 20, HashMod: 3, HashEq: 1},
+			IntroducedYearsAgo: 4.3, Confirmed: false, Fixed: false,
+		},
+		{
+			ID: "FK-L8", GDB: "falkordb", Kind: Logic, Manifest: WrongValue,
+			Description:        "long WITH pipelines with dense dependencies project stale values",
+			Trigger:            Trigger{MinClauses: 6, MinRefs: 25, Clause: "WITH", HashMod: 3, HashEq: 0},
+			IntroducedYearsAgo: 4.2, Confirmed: false, Fixed: false,
+		},
+		{
+			ID: "FK-L5", GDB: "falkordb", Kind: Logic, Manifest: WrongValue,
+			Description:        "ORDER BY with nested sort keys corrupts a projected value",
+			Trigger:            Trigger{MinDepth: 5, OrderBy: true, MinClauses: 3, HashMod: 5, HashEq: 1},
+			IntroducedYearsAgo: 4.5, Confirmed: false, Fixed: false,
+		},
+		{
+			ID: "FK-L4", GDB: "falkordb", Kind: Logic, Manifest: EmptyResult,
+			Description:        "DISTINCT over cross-referenced projections drops all rows",
+			Trigger:            Trigger{MinRefs: 12, Distinct: true, HashMod: 5, HashEq: 0},
+			IntroducedYearsAgo: 4.6, Confirmed: true, Fixed: false,
+		},
+		{
+			ID: "FK-L6", GDB: "falkordb", Kind: Logic, Manifest: NullValue,
+			Description:        "OPTIONAL MATCH over multiple patterns nulls a matched column",
+			Trigger:            Trigger{MinPatterns: 3, Clause: "OPTIONAL MATCH", HashMod: 5, HashEq: 2},
+			IntroducedYearsAgo: 4.4, Confirmed: false, Fixed: false,
+		},
+		{
+			ID: "FK-L12", GDB: "falkordb", Kind: Logic, Manifest: WrongValue,
+			Description:        "deep arithmetic over cross-clause references loses precision",
+			Trigger:            Trigger{MinDepth: 8, MinRefs: 10, HashMod: 9, HashEq: 1},
+			IntroducedYearsAgo: 3.6, Confirmed: false, Fixed: false,
+		},
+		{
+			ID: "FK-L1", GDB: "falkordb", Kind: Logic, Manifest: WrongValue,
+			Description:        "wrong property value projected across chained MATCH clauses (Figure 1; latent four years)",
+			Trigger:            Trigger{MinClauses: 4, MinPatterns: 4, MinDepth: 4, MinRefs: 15, HashMod: 7, HashEq: 2},
+			IntroducedYearsAgo: 4.0, Confirmed: true, Fixed: false,
+		},
+	}}
+}

@@ -1,0 +1,611 @@
+package functions
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gqs/internal/value"
+)
+
+// The scalar function library. The set mirrors §4 of the paper: 61
+// functions commonly supported by Neo4j, Memgraph, Kùzu, and FalkorDB.
+// A test pins the census at exactly 61.
+
+func init() {
+	registerMath()
+	registerString()
+	registerList()
+	registerEntity()
+}
+
+func num1(name string, f func(float64) float64) *Func {
+	return &Func{
+		Name: name, Params: []TypeClass{TNum}, Return: TFloat,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			if !args[0].IsNumber() {
+				return value.Null, argErr(name, "expected a number, got %s", args[0].Kind())
+			}
+			return value.Float(f(args[0].AsFloat())), nil
+		},
+	}
+}
+
+func registerMath() {
+	register(&Func{
+		Name: "abs", Params: []TypeClass{TNum}, Return: TNum,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			switch args[0].Kind() {
+			case value.KindInt:
+				i := args[0].AsInt()
+				if i < 0 {
+					i = -i
+				}
+				return value.Int(i), nil
+			case value.KindFloat:
+				return value.Float(math.Abs(args[0].AsFloat())), nil
+			}
+			return value.Null, argErr("abs", "expected a number, got %s", args[0].Kind())
+		},
+	})
+	register(num1("ceil", math.Ceil))
+	register(num1("floor", math.Floor))
+	register(num1("round", func(f float64) float64 { return math.Floor(f + 0.5) }))
+	register(&Func{
+		Name: "sign", Params: []TypeClass{TNum}, Return: TInt,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			if !args[0].IsNumber() {
+				return value.Null, argErr("sign", "expected a number, got %s", args[0].Kind())
+			}
+			f := args[0].AsFloat()
+			switch {
+			case f > 0:
+				return value.Int(1), nil
+			case f < 0:
+				return value.Int(-1), nil
+			default:
+				return value.Int(0), nil
+			}
+		},
+	})
+	register(num1("sqrt", math.Sqrt))
+	register(num1("exp", math.Exp))
+	register(num1("log", math.Log))
+	register(num1("log10", math.Log10))
+	register(num1("log2", math.Log2))
+	register(num1("sin", math.Sin))
+	register(num1("cos", math.Cos))
+	register(num1("tan", math.Tan))
+	register(num1("cot", func(f float64) float64 { return 1 / math.Tan(f) }))
+	register(num1("asin", math.Asin))
+	register(num1("acos", math.Acos))
+	register(num1("atan", math.Atan))
+	register(&Func{
+		Name: "atan2", Params: []TypeClass{TNum, TNum}, Return: TFloat,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			if !args[0].IsNumber() || !args[1].IsNumber() {
+				return value.Null, argErr("atan2", "expected numbers")
+			}
+			return value.Float(math.Atan2(args[0].AsFloat(), args[1].AsFloat())), nil
+		},
+	})
+	register(&Func{
+		Name: "pi", Return: TFloat,
+		Call: func(_ GraphContext, _ []value.Value) (value.Value, error) {
+			return value.Float(math.Pi), nil
+		},
+	})
+	register(&Func{
+		Name: "e", Return: TFloat,
+		Call: func(_ GraphContext, _ []value.Value) (value.Value, error) {
+			return value.Float(math.E), nil
+		},
+	})
+	register(&Func{
+		Name: "rand", Return: TFloat, Nondeterministic: true,
+		Call: func(_ GraphContext, _ []value.Value) (value.Value, error) {
+			return value.Float(rand.Float64()), nil
+		},
+	})
+	register(&Func{
+		Name: "timestamp", Return: TInt, Nondeterministic: true,
+		Call: func(_ GraphContext, _ []value.Value) (value.Value, error) {
+			// A logical clock rather than wall time keeps runs reproducible.
+			timestampCounter++
+			return value.Int(timestampCounter), nil
+		},
+	})
+	register(num1("degrees", func(f float64) float64 { return f * 180 / math.Pi }))
+	register(num1("radians", func(f float64) float64 { return f * math.Pi / 180 }))
+	register(&Func{
+		Name: "pow", Params: []TypeClass{TNum, TNum}, Return: TFloat,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			return value.Pow(args[0], args[1])
+		},
+	})
+	register(&Func{
+		Name: "isNaN", Params: []TypeClass{TNum}, Return: TBool,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			if !args[0].IsNumber() {
+				return value.Null, argErr("isNaN", "expected a number, got %s", args[0].Kind())
+			}
+			return value.Bool(args[0].Kind() == value.KindFloat && math.IsNaN(args[0].AsFloat())), nil
+		},
+	})
+	register(&Func{
+		Name: "toInteger", Params: []TypeClass{TAny}, Return: TInt,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			switch a := args[0]; a.Kind() {
+			case value.KindInt:
+				return a, nil
+			case value.KindFloat:
+				f := a.AsFloat()
+				if math.IsNaN(f) || math.IsInf(f, 0) {
+					return value.Null, nil
+				}
+				return value.Int(int64(f)), nil
+			case value.KindBool:
+				if a.AsBool() {
+					return value.Int(1), nil
+				}
+				return value.Int(0), nil
+			case value.KindString:
+				if i, err := strconv.ParseInt(strings.TrimSpace(a.AsString()), 10, 64); err == nil {
+					return value.Int(i), nil
+				}
+				if f, err := strconv.ParseFloat(strings.TrimSpace(a.AsString()), 64); err == nil {
+					return value.Int(int64(f)), nil
+				}
+				return value.Null, nil
+			}
+			return value.Null, nil
+		},
+	})
+	register(&Func{
+		Name: "toFloat", Params: []TypeClass{TAny}, Return: TFloat,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			switch a := args[0]; a.Kind() {
+			case value.KindInt:
+				return value.Float(float64(a.AsInt())), nil
+			case value.KindFloat:
+				return a, nil
+			case value.KindString:
+				if f, err := strconv.ParseFloat(strings.TrimSpace(a.AsString()), 64); err == nil {
+					return value.Float(f), nil
+				}
+				return value.Null, nil
+			}
+			return value.Null, nil
+		},
+	})
+	register(&Func{
+		Name: "toBoolean", Params: []TypeClass{TAny}, Return: TBool,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			switch a := args[0]; a.Kind() {
+			case value.KindBool:
+				return a, nil
+			case value.KindString:
+				switch strings.ToLower(strings.TrimSpace(a.AsString())) {
+				case "true":
+					return value.True, nil
+				case "false":
+					return value.False, nil
+				}
+				return value.Null, nil
+			}
+			return value.Null, nil
+		},
+	})
+}
+
+var timestampCounter int64
+
+func str1(name string, f func(string) string) *Func {
+	return &Func{
+		Name: name, Params: []TypeClass{TStr}, Return: TStr,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			if args[0].Kind() != value.KindString {
+				return value.Null, argErr(name, "expected a string, got %s", args[0].Kind())
+			}
+			return value.Str(f(args[0].AsString())), nil
+		},
+	}
+}
+
+func registerString() {
+	register(&Func{
+		Name: "toString", Params: []TypeClass{TAny}, Return: TStr,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			a := args[0]
+			if a.Kind() == value.KindString {
+				return a, nil
+			}
+			return value.Str(a.String()), nil
+		},
+	})
+	lower := func(s string) string { return strings.ToLower(s) }
+	upper := func(s string) string { return strings.ToUpper(s) }
+	register(str1("toLower", lower))
+	register(str1("toUpper", upper))
+	// lCase/uCase are the RedisGraph/FalkorDB spellings.
+	register(str1("lCase", lower))
+	register(str1("uCase", upper))
+	register(str1("trim", strings.TrimSpace))
+	register(str1("lTrim", func(s string) string { return strings.TrimLeft(s, " \t\r\n") }))
+	register(str1("rTrim", func(s string) string { return strings.TrimRight(s, " \t\r\n") }))
+	register(&Func{
+		Name: "reverse", Params: []TypeClass{TStr}, Return: TStr,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			switch a := args[0]; a.Kind() {
+			case value.KindString:
+				rs := []rune(a.AsString())
+				for i, j := 0, len(rs)-1; i < j; i, j = i+1, j-1 {
+					rs[i], rs[j] = rs[j], rs[i]
+				}
+				return value.Str(string(rs)), nil
+			case value.KindList:
+				l := a.AsList()
+				out := make([]value.Value, len(l))
+				for i, v := range l {
+					out[len(l)-1-i] = v
+				}
+				return value.ListOf(out), nil
+			}
+			return value.Null, argErr("reverse", "expected a string or list, got %s", args[0].Kind())
+		},
+	})
+	register(&Func{
+		Name: "replace", Params: []TypeClass{TStr, TStr, TStr}, Return: TStr,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			for _, a := range args {
+				if a.Kind() != value.KindString {
+					return value.Null, argErr("replace", "expected strings")
+				}
+			}
+			s, search, repl := args[0].AsString(), args[1].AsString(), args[2].AsString()
+			// The behaviour for an empty search string is underspecified in
+			// openCypher (the Figure 9 Memgraph bug hangs on it); the
+			// reference semantics here is to return the subject unchanged.
+			if search == "" {
+				return value.Str(s), nil
+			}
+			return value.Str(strings.ReplaceAll(s, search, repl)), nil
+		},
+	})
+	register(&Func{
+		Name: "split", Params: []TypeClass{TStr, TStr}, Return: TList,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			if args[0].Kind() != value.KindString || args[1].Kind() != value.KindString {
+				return value.Null, argErr("split", "expected strings")
+			}
+			parts := strings.Split(args[0].AsString(), args[1].AsString())
+			out := make([]value.Value, len(parts))
+			for i, p := range parts {
+				out[i] = value.Str(p)
+			}
+			return value.ListOf(out), nil
+		},
+	})
+	register(&Func{
+		Name: "substring", Params: []TypeClass{TStr, TInt, TInt}, OptTail: 1, Return: TStr,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			if args[0].Kind() != value.KindString || args[1].Kind() != value.KindInt {
+				return value.Null, argErr("substring", "expected (string, integer[, integer])")
+			}
+			rs := []rune(args[0].AsString())
+			start := args[1].AsInt()
+			if start < 0 {
+				return value.Null, argErr("substring", "negative start %d", start)
+			}
+			if start > int64(len(rs)) {
+				return value.Str(""), nil
+			}
+			end := int64(len(rs))
+			if len(args) == 3 {
+				if args[2].Kind() != value.KindInt {
+					return value.Null, argErr("substring", "length must be an integer")
+				}
+				n := args[2].AsInt()
+				if n < 0 {
+					return value.Null, argErr("substring", "negative length %d", n)
+				}
+				if start+n < end {
+					end = start + n
+				}
+			}
+			return value.Str(string(rs[start:end])), nil
+		},
+	})
+	register(&Func{
+		Name: "left", Params: []TypeClass{TStr, TInt}, Return: TStr,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			return strSide("left", args, func(rs []rune, n int64) string { return string(rs[:n]) })
+		},
+	})
+	register(&Func{
+		Name: "right", Params: []TypeClass{TStr, TInt}, Return: TStr,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			return strSide("right", args, func(rs []rune, n int64) string { return string(rs[int64(len(rs))-n:]) })
+		},
+	})
+	charLength := &Func{
+		Name: "char_length", Params: []TypeClass{TStr}, Return: TInt,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			if args[0].Kind() != value.KindString {
+				return value.Null, argErr("char_length", "expected a string, got %s", args[0].Kind())
+			}
+			return value.Int(int64(len([]rune(args[0].AsString())))), nil
+		},
+	}
+	register(charLength)
+	register(&Func{
+		Name: "character_length", Params: []TypeClass{TStr}, Return: TInt,
+		Call: charLength.Call,
+	})
+}
+
+func strSide(name string, args []value.Value, f func([]rune, int64) string) (value.Value, error) {
+	if args[0].Kind() != value.KindString || args[1].Kind() != value.KindInt {
+		return value.Null, argErr(name, "expected (string, integer)")
+	}
+	n := args[1].AsInt()
+	if n < 0 {
+		return value.Null, argErr(name, "negative length %d", n)
+	}
+	rs := []rune(args[0].AsString())
+	if n > int64(len(rs)) {
+		n = int64(len(rs))
+	}
+	return value.Str(f(rs, n)), nil
+}
+
+func registerList() {
+	sized := func(name string) *Func {
+		return &Func{
+			Name: name, Params: []TypeClass{TList}, Return: TInt,
+			Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+				switch a := args[0]; a.Kind() {
+				case value.KindList:
+					return value.Int(int64(len(a.AsList()))), nil
+				case value.KindString:
+					return value.Int(int64(len([]rune(a.AsString())))), nil
+				case value.KindMap:
+					return value.Int(int64(len(a.AsMap()))), nil
+				}
+				return value.Null, argErr(name, "expected a list or string, got %s", args[0].Kind())
+			},
+		}
+	}
+	register(sized("size"))
+	register(sized("length"))
+	register(&Func{
+		Name: "head", Params: []TypeClass{TList}, Return: TAny,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			l, err := wantList("head", args[0])
+			if err != nil {
+				return value.Null, err
+			}
+			if len(l) == 0 {
+				return value.Null, nil
+			}
+			return l[0], nil
+		},
+	})
+	register(&Func{
+		Name: "last", Params: []TypeClass{TList}, Return: TAny,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			l, err := wantList("last", args[0])
+			if err != nil {
+				return value.Null, err
+			}
+			if len(l) == 0 {
+				return value.Null, nil
+			}
+			return l[len(l)-1], nil
+		},
+	})
+	register(&Func{
+		Name: "tail", Params: []TypeClass{TList}, Return: TList,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			l, err := wantList("tail", args[0])
+			if err != nil {
+				return value.Null, err
+			}
+			if len(l) == 0 {
+				return value.List(), nil
+			}
+			return value.ListOf(l[1:]), nil
+		},
+	})
+	register(&Func{
+		Name: "range", Params: []TypeClass{TInt, TInt, TInt}, OptTail: 1, Return: TList,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			for _, a := range args {
+				if a.Kind() != value.KindInt {
+					return value.Null, argErr("range", "expected integers")
+				}
+			}
+			start, end := args[0].AsInt(), args[1].AsInt()
+			step := int64(1)
+			if len(args) == 3 {
+				step = args[2].AsInt()
+			}
+			if step == 0 {
+				return value.Null, argErr("range", "step must not be zero")
+			}
+			var out []value.Value
+			if step > 0 {
+				for i := start; i <= end && len(out) < 100000; i += step {
+					out = append(out, value.Int(i))
+				}
+			} else {
+				for i := start; i >= end && len(out) < 100000; i += step {
+					out = append(out, value.Int(i))
+				}
+			}
+			return value.ListOf(out), nil
+		},
+	})
+	register(&Func{
+		Name: "coalesce", Params: []TypeClass{TAny}, Return: TAny, Variadic: true,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			for _, a := range args {
+				if !a.IsNull() {
+					return a, nil
+				}
+			}
+			return value.Null, nil
+		},
+	})
+	register(&Func{
+		Name: "keys", Params: []TypeClass{TEntity}, Return: TList, NeedsGraph: true,
+		Call: func(ctx GraphContext, args []value.Value) (value.Value, error) {
+			props, err := entityProps(ctx, "keys", args[0])
+			if err != nil {
+				return value.Null, err
+			}
+			names := make([]string, 0, len(props))
+			for k := range props {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			out := make([]value.Value, len(names))
+			for i, n := range names {
+				out[i] = value.Str(n)
+			}
+			return value.ListOf(out), nil
+		},
+	})
+	register(&Func{
+		Name: "labels", Params: []TypeClass{TNode}, Return: TList, NeedsGraph: true,
+		Call: func(ctx GraphContext, args []value.Value) (value.Value, error) {
+			if args[0].Kind() != value.KindNode {
+				return value.Null, argErr("labels", "expected a node, got %s", args[0].Kind())
+			}
+			ls, ok := ctx.NodeLabels(args[0].EntityID())
+			if !ok {
+				return value.Null, argErr("labels", "unknown node %d", args[0].EntityID())
+			}
+			out := make([]value.Value, len(ls))
+			for i, l := range ls {
+				out[i] = value.Str(l)
+			}
+			return value.ListOf(out), nil
+		},
+	})
+	register(&Func{
+		Name: "isEmpty", Params: []TypeClass{TList}, Return: TBool,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			switch a := args[0]; a.Kind() {
+			case value.KindNull:
+				return value.Null, nil
+			case value.KindList:
+				return value.Bool(len(a.AsList()) == 0), nil
+			case value.KindString:
+				return value.Bool(a.AsString() == ""), nil
+			case value.KindMap:
+				return value.Bool(len(a.AsMap()) == 0), nil
+			}
+			return value.Null, argErr("isEmpty", "expected a list, string, or map")
+		},
+	})
+}
+
+func wantList(name string, v value.Value) ([]value.Value, error) {
+	if v.Kind() != value.KindList {
+		return nil, argErr(name, "expected a list, got %s", v.Kind())
+	}
+	return v.AsList(), nil
+}
+
+func entityProps(ctx GraphContext, name string, v value.Value) (map[string]value.Value, error) {
+	switch v.Kind() {
+	case value.KindMap:
+		return v.AsMap(), nil
+	case value.KindNode, value.KindRel:
+		props, ok := ctx.EntityProps(v.EntityID(), v.Kind() == value.KindRel)
+		if !ok {
+			return nil, argErr(name, "unknown entity %d", v.EntityID())
+		}
+		return props, nil
+	}
+	return nil, argErr(name, "expected a node, relationship, or map, got %s", v.Kind())
+}
+
+func registerEntity() {
+	register(&Func{
+		Name: "id", Params: []TypeClass{TEntity}, Return: TInt,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			if !args[0].IsEntity() {
+				return value.Null, argErr("id", "expected a node or relationship, got %s", args[0].Kind())
+			}
+			return value.Int(args[0].EntityID()), nil
+		},
+	})
+	register(&Func{
+		Name: "type", Params: []TypeClass{TRel}, Return: TStr, NeedsGraph: true,
+		Call: func(ctx GraphContext, args []value.Value) (value.Value, error) {
+			if args[0].Kind() != value.KindRel {
+				return value.Null, argErr("type", "expected a relationship, got %s", args[0].Kind())
+			}
+			t, ok := ctx.RelType(args[0].EntityID())
+			if !ok {
+				return value.Null, argErr("type", "unknown relationship %d", args[0].EntityID())
+			}
+			return value.Str(t), nil
+		},
+	})
+	register(&Func{
+		Name: "startNode", Params: []TypeClass{TRel}, Return: TNode, NeedsGraph: true,
+		Call: func(ctx GraphContext, args []value.Value) (value.Value, error) {
+			s, _, err := relEndpoints(ctx, "startNode", args[0])
+			if err != nil {
+				return value.Null, err
+			}
+			return value.Node(s), nil
+		},
+	})
+	register(&Func{
+		Name: "endNode", Params: []TypeClass{TRel}, Return: TNode, NeedsGraph: true,
+		Call: func(ctx GraphContext, args []value.Value) (value.Value, error) {
+			_, e, err := relEndpoints(ctx, "endNode", args[0])
+			if err != nil {
+				return value.Null, err
+			}
+			return value.Node(e), nil
+		},
+	})
+	register(&Func{
+		Name: "properties", Params: []TypeClass{TEntity}, Return: TMap, NeedsGraph: true,
+		Call: func(ctx GraphContext, args []value.Value) (value.Value, error) {
+			props, err := entityProps(ctx, "properties", args[0])
+			if err != nil {
+				return value.Null, err
+			}
+			out := make(map[string]value.Value, len(props))
+			for k, v := range props {
+				out[k] = v
+			}
+			return value.Map(out), nil
+		},
+	})
+	register(&Func{
+		Name: "exists", Params: []TypeClass{TAny}, Return: TBool,
+		Call: func(_ GraphContext, args []value.Value) (value.Value, error) {
+			return value.Bool(!args[0].IsNull()), nil
+		},
+	})
+}
+
+func relEndpoints(ctx GraphContext, name string, v value.Value) (int64, int64, error) {
+	if v.Kind() != value.KindRel {
+		return 0, 0, argErr(name, "expected a relationship, got %s", v.Kind())
+	}
+	s, e, ok := ctx.RelEndpoints(v.EntityID())
+	if !ok {
+		return 0, 0, argErr(name, "unknown relationship %d", v.EntityID())
+	}
+	return s, e, nil
+}

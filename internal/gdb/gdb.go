@@ -1,0 +1,205 @@
+// Package gdb provides the "GDB under test" abstraction of §4
+// ("Integrating Different GDBs") and the four simulated systems this
+// reproduction tests. Each simulated GDB is the reference engine
+// configured with that system's documented dialect quirks plus its
+// injected-fault catalog; a pristine reference connector (no faults) is
+// the control.
+package gdb
+
+import (
+	"fmt"
+
+	"gqs/internal/engine"
+	"gqs/internal/faults"
+	"gqs/internal/graph"
+	"gqs/internal/metrics"
+)
+
+// Connector is the driver interface a GDB under test exposes, mirroring
+// the paper's per-GDB integration layer.
+type Connector interface {
+	Name() string
+	// Reset clears the instance and loads the graph — the paper's tool
+	// restarts the database for each new graph (§5.4.4).
+	Reset(g *graph.Graph, schema *graph.Schema) error
+	Execute(query string) (*engine.Result, error)
+	// RelUniqueness reports whether the dialect enforces relationship
+	// uniqueness (§4: FalkorDB and Kùzu deviate).
+	RelUniqueness() bool
+	// ProvidesDBLabels reports whether CALL db.labels() exists.
+	ProvidesDBLabels() bool
+	// TriggeredBug returns the injected fault exercised by the most
+	// recent Execute, if any. Experiments use it for ground-truth
+	// attribution and deduplication; testers must not.
+	TriggeredBug() *faults.Bug
+	Close() error
+}
+
+// Info describes one tested GDB, reproducing Table 2.
+type Info struct {
+	Name           string
+	GitHubStars    string
+	InitialRelease int
+	TestedVersion  string
+	LoC            string
+	RequiresSchema bool // Kùzu needs schema information before loading (§4)
+}
+
+// Registry returns the Table 2 rows.
+func Registry() []Info {
+	return []Info{
+		{Name: "neo4j", GitHubStars: "13.2K", InitialRelease: 2007, TestedVersion: "5.18, 5.20, 5.21.2 (simulated)", LoC: "1.4M"},
+		{Name: "memgraph", GitHubStars: "2.4K", InitialRelease: 2017, TestedVersion: "2.13, 2.14.1, 2.15, 2.17 (simulated)", LoC: "0.2M"},
+		{Name: "kuzu", GitHubStars: "1.3K", InitialRelease: 2022, TestedVersion: "0.4.2, 0.7.1 (simulated)", LoC: "11.9M", RequiresSchema: true},
+		{Name: "falkordb", GitHubStars: "651", InitialRelease: 2023, TestedVersion: "4.2.0 (simulated)", LoC: "2.8M"},
+	}
+}
+
+// Sim is a simulated GDB: the reference engine plus dialect quirks and an
+// injected-fault catalog.
+type Sim struct {
+	name           string
+	eng            *engine.Engine
+	bugs           *faults.Set
+	requiresSchema bool
+	lastBug        *faults.Bug
+	closed         bool
+}
+
+// options for constructing simulated GDBs.
+type simConfig struct {
+	dialect        engine.Dialect
+	bugs           *faults.Set
+	requiresSchema bool
+	reverseScan    bool
+}
+
+func newSim(name string, cfg simConfig) *Sim {
+	return &Sim{
+		name: name,
+		eng: engine.New(engine.Options{
+			Dialect:     cfg.dialect,
+			ReverseScan: cfg.reverseScan,
+		}),
+		bugs:           cfg.bugs,
+		requiresSchema: cfg.requiresSchema,
+	}
+}
+
+// NewNeo4jSim builds the Neo4j simulacrum: reference dialect (relationship
+// uniqueness, db.labels), on-disk-style planner, Neo4j fault catalog.
+func NewNeo4jSim() *Sim {
+	return newSim("neo4j", simConfig{
+		dialect: engine.Dialect{Name: "neo4j", RelUniqueness: true, ProvidesDBLabels: true},
+		bugs:    faults.Neo4j(),
+	})
+}
+
+// NewMemgraphSim builds the Memgraph simulacrum: reference uniqueness,
+// no db.labels procedure, and a different scan order — its "in-memory"
+// planner produces rows in a different order than the Neo4j simulacrum,
+// one of the false-positive sources for differential testers (§5.4.3).
+func NewMemgraphSim() *Sim {
+	return newSim("memgraph", simConfig{
+		dialect:     engine.Dialect{Name: "memgraph", RelUniqueness: true, ProvidesDBLabels: false},
+		bugs:        faults.Memgraph(),
+		reverseScan: true,
+	})
+}
+
+// NewKuzuSim builds the Kùzu simulacrum: no relationship uniqueness, no
+// db.labels, and schema-first loading (§4: Kùzu requires the schema
+// before initializing a random graph).
+func NewKuzuSim() *Sim {
+	return newSim("kuzu", simConfig{
+		dialect:        engine.Dialect{Name: "kuzu", RelUniqueness: false, ProvidesDBLabels: false, EnforceSchema: true},
+		bugs:           faults.Kuzu(),
+		requiresSchema: true,
+	})
+}
+
+// NewFalkorDBSim builds the FalkorDB simulacrum: no relationship
+// uniqueness, db.labels available.
+func NewFalkorDBSim() *Sim {
+	return newSim("falkordb", simConfig{
+		dialect: engine.Dialect{Name: "falkordb", RelUniqueness: false, ProvidesDBLabels: true},
+		bugs:    faults.FalkorDB(),
+	})
+}
+
+// NewReference builds the pristine fault-free reference connector.
+func NewReference() *Sim {
+	return newSim("reference", simConfig{dialect: engine.Reference})
+}
+
+// All returns connectors for the four simulated GDBs, in Table 2 order.
+func All() []*Sim {
+	return []*Sim{NewNeo4jSim(), NewMemgraphSim(), NewKuzuSim(), NewFalkorDBSim()}
+}
+
+// ByName builds a simulated GDB by name.
+func ByName(name string) (*Sim, error) {
+	switch name {
+	case "neo4j":
+		return NewNeo4jSim(), nil
+	case "memgraph":
+		return NewMemgraphSim(), nil
+	case "kuzu":
+		return NewKuzuSim(), nil
+	case "falkordb":
+		return NewFalkorDBSim(), nil
+	case "reference":
+		return NewReference(), nil
+	default:
+		return nil, fmt.Errorf("unknown GDB %q", name)
+	}
+}
+
+// Name implements Connector.
+func (s *Sim) Name() string { return s.name }
+
+// RelUniqueness implements Connector.
+func (s *Sim) RelUniqueness() bool { return s.eng.Dialect().RelUniqueness }
+
+// ProvidesDBLabels implements Connector.
+func (s *Sim) ProvidesDBLabels() bool { return s.eng.Dialect().ProvidesDBLabels }
+
+// Reset implements Connector: it restarts the simulated instance with a
+// fresh copy of the graph.
+func (s *Sim) Reset(g *graph.Graph, schema *graph.Schema) error {
+	if s.closed {
+		return fmt.Errorf("%s: connector is closed", s.name)
+	}
+	if s.requiresSchema && schema == nil {
+		return fmt.Errorf("%s: requires schema information before initializing a graph", s.name)
+	}
+	s.eng.LoadGraph(g, schema)
+	s.lastBug = nil
+	return nil
+}
+
+// Execute implements Connector: parse, measure, run, then pass the result
+// through the fault catalog.
+func (s *Sim) Execute(query string) (*engine.Result, error) {
+	if s.closed {
+		return nil, fmt.Errorf("%s: connector is closed", s.name)
+	}
+	s.lastBug = nil
+	f := metrics.Analyze(query)
+	res, err := s.eng.Execute(query)
+	res, err, bug := s.bugs.Apply(f, res, err)
+	s.lastBug = bug
+	return res, err
+}
+
+// TriggeredBug implements Connector.
+func (s *Sim) TriggeredBug() *faults.Bug { return s.lastBug }
+
+// Close implements Connector.
+func (s *Sim) Close() error {
+	s.closed = true
+	return nil
+}
+
+// Engine exposes the underlying engine for white-box tests.
+func (s *Sim) Engine() *engine.Engine { return s.eng }

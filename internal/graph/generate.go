@@ -1,0 +1,239 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gqs/internal/value"
+)
+
+// PropType is the declared type of a property name. Property names have a
+// fixed type across the whole graph so that synthesized expressions can be
+// typed statically, and so that schema-first databases (Kùzu in the paper)
+// can be initialized from the same generator.
+type PropType int
+
+// The generated property types.
+const (
+	PropInt PropType = iota
+	PropFloat
+	PropString
+	PropBool
+	PropStrList
+)
+
+// String returns a Cypher-ish name for the property type.
+func (t PropType) String() string {
+	switch t {
+	case PropInt:
+		return "INTEGER"
+	case PropFloat:
+		return "FLOAT"
+	case PropString:
+		return "STRING"
+	case PropBool:
+		return "BOOLEAN"
+	case PropStrList:
+		return "LIST<STRING>"
+	default:
+		return fmt.Sprintf("PROPTYPE(%d)", int(t))
+	}
+}
+
+// IndexSpec describes one label+property index, created during graph
+// initialization as the paper does.
+type IndexSpec struct {
+	Label    string
+	Property string
+}
+
+// Schema records the label, relationship-type, and property vocabularies
+// of a generated graph.
+type Schema struct {
+	Labels   []string
+	RelTypes []string
+	Props    map[string]PropType
+	Indexes  []IndexSpec
+}
+
+// PropNames returns the property names in a deterministic order.
+func (s *Schema) PropNames() []string {
+	names := make([]string, 0, len(s.Props))
+	for i := 0; ; i++ {
+		n := fmt.Sprintf("k%d", i)
+		if _, ok := s.Props[n]; !ok {
+			break
+		}
+		names = append(names, n)
+	}
+	return names
+}
+
+// GenConfig controls random graph generation. The defaults mirror the
+// paper's experimental setup (§5.1): graphs of at most 13 nodes and 500
+// relationships.
+type GenConfig struct {
+	MaxNodes         int // upper bound on nodes; at least 2 are generated
+	MaxRels          int // upper bound on relationships
+	NumLabels        int // size of the label vocabulary (L0..Ln-1)
+	NumRelTypes      int // size of the type vocabulary (T0..Tn-1)
+	NumProps         int // size of the property-name vocabulary (k0..kn-1)
+	MaxLabelsPerNode int
+	MaxPropsPerElem  int
+	SelfLoopPercent  int // percentage of relationships allowed to be self-loops
+}
+
+// DefaultGenConfig returns the paper's configuration.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxNodes:         13,
+		MaxRels:          500,
+		NumLabels:        13,
+		NumRelTypes:      11,
+		NumProps:         100,
+		MaxLabelsPerNode: 3,
+		MaxPropsPerElem:  6,
+		SelfLoopPercent:  5,
+	}
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	d := DefaultGenConfig()
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = d.MaxNodes
+	}
+	if c.MaxRels <= 0 {
+		c.MaxRels = d.MaxRels
+	}
+	if c.NumLabels <= 0 {
+		c.NumLabels = d.NumLabels
+	}
+	if c.NumRelTypes <= 0 {
+		c.NumRelTypes = d.NumRelTypes
+	}
+	if c.NumProps <= 0 {
+		c.NumProps = d.NumProps
+	}
+	if c.MaxLabelsPerNode <= 0 {
+		c.MaxLabelsPerNode = d.MaxLabelsPerNode
+	}
+	if c.MaxPropsPerElem <= 0 {
+		c.MaxPropsPerElem = d.MaxPropsPerElem
+	}
+	return c
+}
+
+// Generate produces a random labeled property graph and its schema,
+// implementing step ① of the GQS workflow. Generation is deterministic
+// for a given rand source.
+func Generate(r *rand.Rand, cfg GenConfig) (*Graph, *Schema) {
+	cfg = cfg.withDefaults()
+	s := &Schema{Props: make(map[string]PropType, cfg.NumProps)}
+	for i := 0; i < cfg.NumLabels; i++ {
+		s.Labels = append(s.Labels, fmt.Sprintf("L%d", i))
+	}
+	for i := 0; i < cfg.NumRelTypes; i++ {
+		s.RelTypes = append(s.RelTypes, fmt.Sprintf("T%d", i))
+	}
+	for i := 0; i < cfg.NumProps; i++ {
+		s.Props[fmt.Sprintf("k%d", i)] = PropType(i % 5)
+	}
+
+	g := New()
+	nNodes := 2 + r.Intn(cfg.MaxNodes-1)
+	for i := 0; i < nNodes; i++ {
+		labels := pickDistinct(r, s.Labels, 1+r.Intn(cfg.MaxLabelsPerNode))
+		n := g.NewNode(labels...)
+		fillProps(r, s, n.Props, cfg.MaxPropsPerElem)
+	}
+	ids := g.NodeIDs()
+	nRels := 1 + r.Intn(cfg.MaxRels)
+	for i := 0; i < nRels; i++ {
+		a := ids[r.Intn(len(ids))]
+		b := ids[r.Intn(len(ids))]
+		if a == b && r.Intn(100) >= cfg.SelfLoopPercent {
+			b = ids[(indexOf(ids, a)+1)%len(ids)]
+		}
+		typ := s.RelTypes[r.Intn(len(s.RelTypes))]
+		rel, err := g.NewRel(a, b, typ)
+		if err != nil {
+			panic("graph: generated relationship between missing nodes: " + err.Error())
+		}
+		fillProps(r, s, rel.Props, cfg.MaxPropsPerElem)
+	}
+
+	// Index a handful of label+property combinations, as the paper's
+	// initializer creates indexes for labels and properties.
+	nIdx := 1 + r.Intn(4)
+	for i := 0; i < nIdx; i++ {
+		s.Indexes = append(s.Indexes, IndexSpec{
+			Label:    s.Labels[r.Intn(len(s.Labels))],
+			Property: fmt.Sprintf("k%d", r.Intn(cfg.NumProps)),
+		})
+	}
+	return g, s
+}
+
+func indexOf(ids []ID, id ID) int {
+	for i, x := range ids {
+		if x == id {
+			return i
+		}
+	}
+	return 0
+}
+
+func pickDistinct(r *rand.Rand, pool []string, n int) []string {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	perm := r.Perm(len(pool))
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}
+
+func fillProps(r *rand.Rand, s *Schema, props map[string]value.Value, maxProps int) {
+	n := 1 + r.Intn(maxProps)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("k%d", r.Intn(len(s.Props)))
+		props[name] = RandomPropValue(r, s.Props[name])
+	}
+}
+
+// RandomPropValue generates a random value of the given property type,
+// matching the paper's value domains (32-bit integers, short alphanumeric
+// strings, booleans, floats, and small string lists).
+func RandomPropValue(r *rand.Rand, t PropType) value.Value {
+	switch t {
+	case PropInt:
+		return value.Int(int64(int32(r.Uint32())))
+	case PropFloat:
+		return value.Float(float64(int32(r.Uint32())) / 1000.0)
+	case PropString:
+		return value.Str(randomString(r, 5+r.Intn(5)))
+	case PropBool:
+		return value.Bool(r.Intn(2) == 0)
+	case PropStrList:
+		n := 1 + r.Intn(3)
+		vs := make([]value.Value, n)
+		for i := range vs {
+			vs[i] = value.Str(randomString(r, 4+r.Intn(4)))
+		}
+		return value.ListOf(vs)
+	default:
+		return value.Null
+	}
+}
+
+const alnum = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+func randomString(r *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alnum[r.Intn(len(alnum))]
+	}
+	return string(b)
+}

@@ -1,0 +1,250 @@
+// Package graph implements the labeled property graph (LPG) data model of
+// Section 2.1 of the GQS paper: nodes and relationships carrying labels
+// (resp. types) and key-value properties, plus the random graph generator
+// used by step ① (Initialization) of the GQS workflow.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gqs/internal/value"
+)
+
+// ID identifies a graph element. Node and relationship identifiers are
+// drawn from one shared counter so that an element's `id` property is
+// unique across the whole graph, which the predicate uniquification of
+// GQS (§3.4) relies on.
+type ID = int64
+
+// Node is a graph node with labels and properties.
+type Node struct {
+	ID     ID
+	Labels []string
+	Props  map[string]value.Value
+}
+
+// HasLabel reports whether the node carries the given label.
+func (n *Node) HasLabel(l string) bool {
+	for _, x := range n.Labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Rel is a directed relationship with a type and properties.
+type Rel struct {
+	ID    ID
+	Type  string
+	Start ID
+	End   ID
+	Props map[string]value.Value
+}
+
+// Graph is an in-memory labeled property graph. It is not safe for
+// concurrent mutation; the engine layer provides synchronization.
+type Graph struct {
+	nodes  map[ID]*Node
+	rels   map[ID]*Rel
+	out    map[ID][]ID // node -> outgoing rel IDs
+	in     map[ID][]ID // node -> incoming rel IDs
+	nextID ID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[ID]*Node),
+		rels:  make(map[ID]*Rel),
+		out:   make(map[ID][]ID),
+		in:    make(map[ID][]ID),
+	}
+}
+
+// NewNode creates a node with the given labels and empty properties and
+// returns it. The `id` property is set to the element identifier.
+func (g *Graph) NewNode(labels ...string) *Node {
+	id := g.nextID
+	g.nextID++
+	n := &Node{ID: id, Labels: labels, Props: map[string]value.Value{"id": value.Int(id)}}
+	g.nodes[id] = n
+	return n
+}
+
+// NewRel creates a relationship from start to end with the given type and
+// returns it. The `id` property is set to the element identifier.
+func (g *Graph) NewRel(start, end ID, typ string) (*Rel, error) {
+	if _, ok := g.nodes[start]; !ok {
+		return nil, fmt.Errorf("graph: start node %d does not exist", start)
+	}
+	if _, ok := g.nodes[end]; !ok {
+		return nil, fmt.Errorf("graph: end node %d does not exist", end)
+	}
+	id := g.nextID
+	g.nextID++
+	r := &Rel{ID: id, Type: typ, Start: start, End: end, Props: map[string]value.Value{"id": value.Int(id)}}
+	g.rels[id] = r
+	g.out[start] = append(g.out[start], id)
+	g.in[end] = append(g.in[end], id)
+	return r, nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id ID) *Node { return g.nodes[id] }
+
+// Rel returns the relationship with the given ID, or nil.
+func (g *Graph) Rel(id ID) *Rel { return g.rels[id] }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumRels returns the number of relationships.
+func (g *Graph) NumRels() int { return len(g.rels) }
+
+// NodeIDs returns all node IDs in ascending order.
+func (g *Graph) NodeIDs() []ID {
+	ids := make([]ID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RelIDs returns all relationship IDs in ascending order.
+func (g *Graph) RelIDs() []ID {
+	ids := make([]ID, 0, len(g.rels))
+	for id := range g.rels {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Out returns the IDs of relationships leaving the node, in insertion order.
+func (g *Graph) Out(n ID) []ID { return g.out[n] }
+
+// In returns the IDs of relationships entering the node, in insertion order.
+func (g *Graph) In(n ID) []ID { return g.in[n] }
+
+// Incident returns all relationship IDs touching the node (out then in).
+// A self-loop appears twice.
+func (g *Graph) Incident(n ID) []ID {
+	out := g.out[n]
+	in := g.in[n]
+	ids := make([]ID, 0, len(out)+len(in))
+	ids = append(ids, out...)
+	ids = append(ids, in...)
+	return ids
+}
+
+// DeleteNode removes a node. It fails if relationships are still attached,
+// mirroring Cypher's DELETE semantics (DETACH DELETE removes them first).
+func (g *Graph) DeleteNode(id ID, detach bool) error {
+	n := g.nodes[id]
+	if n == nil {
+		return fmt.Errorf("graph: node %d does not exist", id)
+	}
+	if len(g.out[id]) > 0 || len(g.in[id]) > 0 {
+		if !detach {
+			return fmt.Errorf("graph: node %d still has relationships", id)
+		}
+		for _, rid := range append(append([]ID{}, g.out[id]...), g.in[id]...) {
+			if g.rels[rid] != nil {
+				g.DeleteRel(rid)
+			}
+		}
+	}
+	delete(g.nodes, id)
+	delete(g.out, id)
+	delete(g.in, id)
+	return nil
+}
+
+// DeleteRel removes a relationship.
+func (g *Graph) DeleteRel(id ID) {
+	r := g.rels[id]
+	if r == nil {
+		return
+	}
+	g.out[r.Start] = removeID(g.out[r.Start], id)
+	g.in[r.End] = removeID(g.in[r.End], id)
+	delete(g.rels, id)
+}
+
+func removeID(ids []ID, id ID) []ID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// Clone returns a deep copy of the graph. Property values are shared
+// (they are immutable); property maps and label slices are copied.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.nextID = g.nextID
+	for id, n := range g.nodes {
+		labels := append([]string(nil), n.Labels...)
+		props := make(map[string]value.Value, len(n.Props))
+		for k, v := range n.Props {
+			props[k] = v
+		}
+		c.nodes[id] = &Node{ID: id, Labels: labels, Props: props}
+	}
+	for id, r := range g.rels {
+		props := make(map[string]value.Value, len(r.Props))
+		for k, v := range r.Props {
+			props[k] = v
+		}
+		c.rels[id] = &Rel{ID: id, Type: r.Type, Start: r.Start, End: r.End, Props: props}
+	}
+	for n, ids := range g.out {
+		c.out[n] = append([]ID(nil), ids...)
+	}
+	for n, ids := range g.in {
+		c.in[n] = append([]ID(nil), ids...)
+	}
+	return c
+}
+
+// String renders a compact human-readable summary of the graph.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph{%d nodes, %d rels}", len(g.nodes), len(g.rels))
+	return sb.String()
+}
+
+// PropertyKey identifies one property of one graph element: the pair
+// ⟨e, n⟩ from §2.1 of the paper.
+type PropertyKey struct {
+	Element ID
+	IsRel   bool
+	Name    string
+}
+
+// Lookup resolves the property key against the graph, returning the value
+// and whether the property exists.
+func (g *Graph) Lookup(k PropertyKey) (value.Value, bool) {
+	var props map[string]value.Value
+	if k.IsRel {
+		r := g.rels[k.Element]
+		if r == nil {
+			return value.Null, false
+		}
+		props = r.Props
+	} else {
+		n := g.nodes[k.Element]
+		if n == nil {
+			return value.Null, false
+		}
+		props = n.Props
+	}
+	v, ok := props[k.Name]
+	return v, ok
+}

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAdjacencyConsistent: for arbitrary build sequences, the
+// adjacency lists agree with the relationship endpoints.
+func TestQuickAdjacencyConsistent(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := New()
+		g.NewNode("L")
+		for _, op := range ops {
+			ids := g.NodeIDs()
+			switch op % 4 {
+			case 0:
+				g.NewNode("L")
+			case 1:
+				a := ids[r.Intn(len(ids))]
+				b := ids[r.Intn(len(ids))]
+				g.NewRel(a, b, "T")
+			case 2:
+				rels := g.RelIDs()
+				if len(rels) > 0 {
+					g.DeleteRel(rels[r.Intn(len(rels))])
+				}
+			case 3:
+				g.DeleteNode(ids[r.Intn(len(ids))], true)
+				if g.NumNodes() == 0 {
+					g.NewNode("L")
+				}
+			}
+		}
+		// Invariants: every rel appears exactly once in its start's Out
+		// and its end's In; adjacency references no deleted rels.
+		for _, id := range g.RelIDs() {
+			rel := g.Rel(id)
+			if countID(g.Out(rel.Start), id) != 1 || countID(g.In(rel.End), id) != 1 {
+				return false
+			}
+		}
+		for _, nid := range g.NodeIDs() {
+			for _, rid := range g.Incident(nid) {
+				if g.Rel(rid) == nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countID(ids []ID, id ID) int {
+	n := 0
+	for _, x := range ids {
+		if x == id {
+			n++
+		}
+	}
+	return n
+}
+
+// TestQuickIDsUniqueAcrossElements: node and relationship identifiers
+// never collide, which the GQS `id` predicates rely on.
+func TestQuickIDsUniqueAcrossElements(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, _ := Generate(r, GenConfig{MaxNodes: 8, MaxRels: 30})
+		seen := map[ID]bool{}
+		for _, id := range g.NodeIDs() {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		for _, id := range g.RelIDs() {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneIsolation: mutations to a clone never affect the original.
+func TestQuickCloneIsolation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, _ := Generate(r, GenConfig{MaxNodes: 6, MaxRels: 15})
+		before := g.ToCypher()
+		c := g.Clone()
+		c.NewNode("ZZZ")
+		for _, id := range c.NodeIDs() {
+			c.Node(id).Labels = append(c.Node(id).Labels, "MUT")
+		}
+		for _, id := range c.RelIDs() {
+			c.DeleteRel(id)
+		}
+		return g.ToCypher() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

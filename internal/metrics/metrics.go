@@ -1,0 +1,260 @@
+// Package metrics computes the query-complexity metrics of Table 5 of
+// the GQS paper from Cypher ASTs: the number of search patterns, the
+// maximum expression nesting depth, the number of clauses, and the number
+// of cross-clause data references. The same feature vector drives the
+// trigger predicates of the injected-fault catalog.
+package metrics
+
+import (
+	"hash/fnv"
+	"strings"
+
+	"gqs/internal/cypher/ast"
+	"gqs/internal/cypher/parser"
+	"gqs/internal/value"
+)
+
+// Features is the feature vector of one query.
+type Features struct {
+	// The four Table 5 metrics.
+	Patterns     int // search patterns (pattern parts across MATCH/MERGE/CREATE)
+	MaxExprDepth int // deepest expression nesting
+	Clauses      int // clauses including subclauses usage via ClauseCounts
+	CrossRefs    int // references to variables introduced in earlier clauses
+
+	// Supporting detail.
+	ClauseCounts map[string]int // per clause name, WHERE and ORDER BY included
+	Functions    map[string]int // function invocation counts
+	Hash         uint64         // FNV-1a of the query text (deterministic gating)
+
+	// Special triggers observed in the paper's bugs.
+	HasReplaceEmptyString bool // replace(s, '', r) — the Figure 9 Memgraph hang
+	UnwindBeforeMatch     bool // UNWIND preceding a MATCH — the Figure 17 shape
+	HasOrderBy            bool
+	HasDistinct           bool
+	HasLimit              bool
+	HasUnion              bool
+}
+
+// Analyze parses and measures a query; it returns nil for unparsable text.
+func Analyze(text string) *Features {
+	q, err := parser.Parse(text)
+	if err != nil {
+		return nil
+	}
+	f := AnalyzeAST(q)
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	f.Hash = h.Sum64()
+	return f
+}
+
+// AnalyzeAST measures a parsed query. The Hash field is left zero;
+// Analyze fills it from the text.
+func AnalyzeAST(q *ast.Query) *Features {
+	f := &Features{
+		ClauseCounts: map[string]int{},
+		Functions:    map[string]int{},
+	}
+	introduced := map[string]int{} // variable -> clause index of introduction
+	clauseIdx := 0
+
+	noteExprs := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		if d := ast.Depth(e); d > f.MaxExprDepth {
+			f.MaxExprDepth = d
+		}
+		ast.WalkExprs(e, func(x ast.Expr) bool {
+			switch x := x.(type) {
+			case *ast.FuncCall:
+				name := strings.ToLower(x.Name)
+				f.Functions[name]++
+				if name == "replace" && len(x.Args) == 3 {
+					if lit, ok := x.Args[1].(*ast.Literal); ok && lit.Val.Kind() == value.KindString && lit.Val.AsString() == "" {
+						f.HasReplaceEmptyString = true
+					}
+				}
+			case *ast.Variable:
+				if at, ok := introduced[x.Name]; ok && at < clauseIdx {
+					f.CrossRefs++
+				}
+			}
+			return true
+		})
+	}
+
+	intro := func(v string) {
+		if v == "" {
+			return
+		}
+		if _, ok := introduced[v]; !ok {
+			introduced[v] = clauseIdx
+		}
+	}
+
+	patterns := func(ps []*ast.PatternPart) {
+		f.Patterns += len(ps)
+		for _, p := range ps {
+			intro(p.Variable)
+			for i, n := range p.Nodes {
+				// A reference to a variable introduced earlier is a
+				// cross-clause dependency even inside a pattern.
+				if at, ok := introduced[n.Variable]; ok && at < clauseIdx {
+					f.CrossRefs++
+				}
+				intro(n.Variable)
+				if n.Props != nil {
+					noteExprs(n.Props)
+				}
+				if i < len(p.Rels) {
+					r := p.Rels[i]
+					if at, ok := introduced[r.Variable]; ok && at < clauseIdx {
+						f.CrossRefs++
+					}
+					intro(r.Variable)
+					if r.Props != nil {
+						noteExprs(r.Props)
+					}
+				}
+			}
+		}
+	}
+
+	projection := func(p *ast.Projection) {
+		for _, it := range p.Items {
+			noteExprs(it.Expr)
+			if it.Alias != "" {
+				intro(it.Alias)
+			} else if v, ok := it.Expr.(*ast.Variable); ok {
+				intro(v.Name)
+			}
+		}
+		if p.Distinct {
+			f.HasDistinct = true
+			f.ClauseCounts["DISTINCT"]++
+		}
+		if len(p.OrderBy) > 0 {
+			f.HasOrderBy = true
+			f.ClauseCounts["ORDER BY"]++
+			for _, s := range p.OrderBy {
+				noteExprs(s.Expr)
+			}
+		}
+		if p.Skip != nil {
+			f.ClauseCounts["SKIP"]++
+			noteExprs(p.Skip)
+		}
+		if p.Limit != nil {
+			f.HasLimit = true
+			f.ClauseCounts["LIMIT"]++
+			noteExprs(p.Limit)
+		}
+	}
+
+	if len(q.Parts) > 1 {
+		f.HasUnion = true
+		f.ClauseCounts["UNION"] = len(q.Parts) - 1
+	}
+	sawMatch := false
+	for _, part := range q.Parts {
+		for _, c := range part.Clauses {
+			f.Clauses++
+			f.ClauseCounts[ast.ClauseName(c)]++
+			switch c := c.(type) {
+			case *ast.MatchClause:
+				if !sawMatch && f.ClauseCounts["UNWIND"] > 0 {
+					f.UnwindBeforeMatch = true
+				}
+				sawMatch = true
+				patterns(c.Patterns)
+				if c.Where != nil {
+					f.ClauseCounts["WHERE"]++
+					noteExprs(c.Where)
+				}
+			case *ast.UnwindClause:
+				noteExprs(c.Expr)
+				intro(c.Alias)
+			case *ast.WithClause:
+				projection(&c.Projection)
+				if c.Where != nil {
+					f.ClauseCounts["WHERE"]++
+					noteExprs(c.Where)
+				}
+			case *ast.ReturnClause:
+				projection(&c.Projection)
+			case *ast.CallClause:
+				for _, a := range c.Args {
+					noteExprs(a)
+				}
+				for _, y := range c.Yield {
+					intro(y)
+				}
+			case *ast.CreateClause:
+				patterns(c.Patterns)
+			case *ast.MergeClause:
+				patterns([]*ast.PatternPart{c.Pattern})
+			case *ast.SetClause:
+				for _, it := range c.Items {
+					noteExprs(it.Subject)
+					noteExprs(it.Value)
+				}
+			case *ast.DeleteClause:
+				for _, e := range c.Exprs {
+					noteExprs(e)
+				}
+			case *ast.RemoveClause:
+				for _, it := range c.Items {
+					noteExprs(it.Subject)
+				}
+			}
+			clauseIdx++
+		}
+	}
+	return f
+}
+
+// CoarseSeed derives a stable value from the coarse feature vector
+// (patterns, depth, clauses, cross-references). Unlike Hash it survives
+// semantics-preserving rewrites of the query text, which makes it the
+// right key for modelling root-cause-determined behaviour.
+func (f *Features) CoarseSeed() uint64 {
+	var h uint64 = 1469598103934665603
+	mix := func(x int) {
+		h = (h ^ uint64(x)) * 1099511628211
+	}
+	mix(f.Patterns)
+	mix(f.MaxExprDepth)
+	mix(f.Clauses)
+	mix(f.CrossRefs)
+	return h
+}
+
+// Aggregate sums feature vectors and reports the Table 5 row: averages of
+// patterns, expression depth, clauses, and dependencies.
+type Aggregate struct {
+	N                                      int
+	Patterns, Depth, Clauses, Dependencies float64
+}
+
+// Add accumulates one query's features.
+func (a *Aggregate) Add(f *Features) {
+	if f == nil {
+		return
+	}
+	a.N++
+	a.Patterns += float64(f.Patterns)
+	a.Depth += float64(f.MaxExprDepth)
+	a.Clauses += float64(f.Clauses)
+	a.Dependencies += float64(f.CrossRefs)
+}
+
+// Averages returns the four Table 5 columns.
+func (a *Aggregate) Averages() (patterns, depth, clauses, deps float64) {
+	if a.N == 0 {
+		return 0, 0, 0, 0
+	}
+	n := float64(a.N)
+	return a.Patterns / n, a.Depth / n, a.Clauses / n, a.Dependencies / n
+}

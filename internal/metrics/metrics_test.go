@@ -1,0 +1,112 @@
+package metrics
+
+import "testing"
+
+func TestAnalyzeFigure1(t *testing.T) {
+	// The Figure 1 FalkorDB bug query.
+	q := `MATCH (n2)<-[r1]->(n0), (n3)-[r2]->(n4)-[r3]->(n5) WHERE r1.id=13
+	 UNWIND [n5.k2 <> r3.id, false] as a1
+	 WITH DISTINCT n2, r3, n3, n4, n5, endNode(r1) as a2, n0
+	 MATCH (n2)<-[r4:T10]->(n0), (n3)-[r5]->(n4)-[r6]->(n5)
+	 WHERE (((r6.k85)+(n2.k11)) ENDS WITH 'q11cZH6h') AND
+	   ((n2.k9) = -1982025281) AND (n5.k2<=-881779936)
+	 RETURN n2.id as a3, r6.id as a4`
+	f := Analyze(q)
+	if f == nil {
+		t.Fatal("Figure 1 query must parse")
+	}
+	if f.Patterns != 4 {
+		t.Errorf("patterns = %d, want 4", f.Patterns)
+	}
+	if f.Clauses != 5 {
+		t.Errorf("clauses = %d, want 5 (MATCH, UNWIND, WITH, MATCH, RETURN)", f.Clauses)
+	}
+	if f.ClauseCounts["MATCH"] != 2 || f.ClauseCounts["UNWIND"] != 1 || f.ClauseCounts["WHERE"] != 2 {
+		t.Errorf("clause counts: %v", f.ClauseCounts)
+	}
+	if !f.HasDistinct {
+		t.Error("DISTINCT not detected")
+	}
+	if f.Functions["endnode"] != 1 {
+		t.Errorf("functions: %v", f.Functions)
+	}
+	// n5 is referenced in four different clauses (§1); plenty of
+	// cross-clause references must be counted.
+	if f.CrossRefs < 8 {
+		t.Errorf("cross refs = %d, expected many", f.CrossRefs)
+	}
+	if f.MaxExprDepth < 3 {
+		t.Errorf("depth = %d", f.MaxExprDepth)
+	}
+	if f.Hash == 0 {
+		t.Error("hash must be set")
+	}
+}
+
+func TestAnalyzeSpecialShapes(t *testing.T) {
+	f := Analyze(`WITH replace('ts15G', '', 'U11sWFvRw') AS a0 RETURN a0`)
+	if !f.HasReplaceEmptyString {
+		t.Error("Figure 9 replace-empty shape not detected")
+	}
+	f = Analyze(`UNWIND [1,2,3] AS a0 MATCH (n) RETURN a0`)
+	if !f.UnwindBeforeMatch {
+		t.Error("Figure 17 UNWIND-before-MATCH shape not detected")
+	}
+	f = Analyze(`MATCH (n) UNWIND [1] AS a0 RETURN a0`)
+	if f.UnwindBeforeMatch {
+		t.Error("UNWIND after MATCH must not count")
+	}
+	f = Analyze(`MATCH (n) RETURN n.id ORDER BY n.id LIMIT 2 UNION MATCH (n) RETURN n.id`)
+	if !f.HasOrderBy || !f.HasLimit || !f.HasUnion {
+		t.Errorf("modifier flags wrong: %+v", f)
+	}
+}
+
+func TestAnalyzeCrossRefs(t *testing.T) {
+	// x introduced in clause 0, referenced twice in clause 1 and once in
+	// clause 2.
+	f := Analyze(`MATCH (x) MATCH (y) WHERE y.id = x.id AND x.k0 = 1 RETURN x.k1`)
+	if f.CrossRefs != 3 {
+		t.Errorf("cross refs = %d, want 3", f.CrossRefs)
+	}
+	// Same-clause references do not count.
+	f = Analyze(`MATCH (x) WHERE x.id = 1 RETURN 1`)
+	if f.CrossRefs != 0 {
+		t.Errorf("same-clause refs counted: %d", f.CrossRefs)
+	}
+	// Pattern reuse of an earlier variable counts, as does the RETURN
+	// of a variable introduced by an earlier clause.
+	f = Analyze(`MATCH (x) MATCH (x)-[r]->(y) RETURN y`)
+	if f.CrossRefs != 2 {
+		t.Errorf("pattern cross refs = %d, want 2 (x in pattern, y in RETURN)", f.CrossRefs)
+	}
+}
+
+func TestAnalyzeUnparsable(t *testing.T) {
+	if Analyze(`NOT CYPHER AT ALL (`) != nil {
+		t.Error("unparsable query must yield nil")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	a.Add(Analyze(`MATCH (x), (y) RETURN x`))
+	a.Add(Analyze(`MATCH (x) RETURN x`))
+	a.Add(nil) // ignored
+	p, _, c, _ := a.Averages()
+	if a.N != 2 || p != 1.5 || c != 2 {
+		t.Errorf("aggregate: n=%d patterns=%v clauses=%v", a.N, p, c)
+	}
+	var empty Aggregate
+	if p, d, c, deps := empty.Averages(); p != 0 || d != 0 || c != 0 || deps != 0 {
+		t.Error("empty aggregate must be zero")
+	}
+}
+
+func TestDepthMetric(t *testing.T) {
+	shallow := Analyze(`MATCH (n) WHERE n.id = 1 RETURN n.k0`)
+	deep := Analyze(`MATCH (n) WHERE toString(abs((n.id + 1) * 2)) = '4' RETURN n.k0`)
+	if deep.MaxExprDepth <= shallow.MaxExprDepth {
+		t.Errorf("deep %d vs shallow %d", deep.MaxExprDepth, shallow.MaxExprDepth)
+	}
+}

@@ -1,0 +1,148 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomValue produces an arbitrary Cypher value of bounded depth for
+// property-based tests.
+func randomValue(r *rand.Rand, depth int) Value {
+	max := 9
+	if depth <= 0 {
+		max = 6 // leaves only
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Null
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(int64(r.Intn(21) - 10))
+	case 3:
+		return Float(float64(r.Intn(21)-10) / 2)
+	case 4:
+		return Str(string(rune('a' + r.Intn(4))))
+	case 5:
+		if r.Intn(2) == 0 {
+			return Node(int64(r.Intn(5)))
+		}
+		return Rel(int64(r.Intn(5)))
+	case 6:
+		n := r.Intn(3)
+		vs := make([]Value, n)
+		for i := range vs {
+			vs[i] = randomValue(r, depth-1)
+		}
+		return ListOf(vs)
+	case 7:
+		n := r.Intn(3)
+		m := make(map[string]Value, n)
+		for i := 0; i < n; i++ {
+			m[string(rune('a'+i))] = randomValue(r, depth-1)
+		}
+		return Map(m)
+	default:
+		return Int(int64(r.Intn(5)))
+	}
+}
+
+func qc(t *testing.T, f func(a, b Value) bool) {
+	t.Helper()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randomValue(r, 3), randomValue(r, 3)
+		if !f(a, b) {
+			t.Fatalf("property violated for a=%v b=%v", a, b)
+		}
+	}
+}
+
+func TestQuickEqualSymmetric(t *testing.T) {
+	qc(t, func(a, b Value) bool { return Equal(a, b) == Equal(b, a) })
+}
+
+func TestQuickEquivalentSymmetricReflexive(t *testing.T) {
+	qc(t, func(a, b Value) bool {
+		return Equivalent(a, a) && Equivalent(b, b) && Equivalent(a, b) == Equivalent(b, a)
+	})
+}
+
+func TestQuickKeyConsistentWithEquivalence(t *testing.T) {
+	qc(t, func(a, b Value) bool {
+		return Equivalent(a, b) == (a.Key() == b.Key())
+	})
+}
+
+func TestQuickOrderCompareAntisymmetric(t *testing.T) {
+	qc(t, func(a, b Value) bool { return OrderCompare(a, b) == -OrderCompare(b, a) })
+}
+
+func TestQuickOrderCompareTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a, b, c := randomValue(r, 2), randomValue(r, 2), randomValue(r, 2)
+		// Sort the triple by OrderCompare and verify consistency.
+		if OrderCompare(a, b) <= 0 && OrderCompare(b, c) <= 0 && OrderCompare(a, c) > 0 {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestQuickCompareAgreesWithEqual(t *testing.T) {
+	qc(t, func(a, b Value) bool {
+		c, ok := Compare(a, b)
+		if ok != TriTrue || c != 0 {
+			return true
+		}
+		// Comparable and equal under ordering implies = is true,
+		// except NaN corner cases which Compare already reports unknown.
+		return Equal(a, b) == TriTrue
+	})
+}
+
+func TestQuickAddIntCommutes(t *testing.T) {
+	f := func(x, y int32) bool {
+		a, err1 := Add(Int(int64(x)), Int(int64(y)))
+		b, err2 := Add(Int(int64(y)), Int(int64(x)))
+		return err1 == nil && err2 == nil && Equivalent(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInMembership(t *testing.T) {
+	f := func(xs []int16, x int16) bool {
+		vs := make([]Value, len(xs))
+		found := false
+		for i, e := range xs {
+			vs[i] = Int(int64(e))
+			if e == x {
+				found = true
+			}
+		}
+		return In(Int(int64(x)), ListOf(vs)) == TriOf(found)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSliceWithinBounds(t *testing.T) {
+	f := func(xs []int8, lo, hi int8) bool {
+		vs := make([]Value, len(xs))
+		for i, e := range xs {
+			vs[i] = Int(int64(e))
+		}
+		out, err := Slice(ListOf(vs), Int(int64(lo)), Int(int64(hi)))
+		if err != nil {
+			return false
+		}
+		return len(out.AsList()) <= len(vs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
