@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Tier-1 verification gate (see ROADMAP.md).
+verify: build vet test race
+
+# Short resilient-campaign smoke under the race detector: live faults,
+# flaky connection, watchdog timeouts — the hardened-runner acceptance.
+smoke:
+	$(GO) test -race -run 'TestResilientCampaign' -count=1 ./internal/experiments/

@@ -6,17 +6,35 @@
 //
 //	gqs -gdb falkordb -iterations 50 -seed 7
 //	gqs -gdb all -iterations 30 -v
+//	gqs -gdb memgraph -live -flaky 0.1 -timeout 5s -retries 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"gqs/internal/core"
 	"gqs/internal/gdb"
 	"gqs/internal/graph"
 )
+
+// options carries the flag values into each per-GDB run.
+type options struct {
+	seed       int64
+	iterations int
+	maxNodes   int
+	maxRels    int
+	maxSteps   int
+	resultSet  int
+	verbose    bool
+	reportDir  string
+	timeout    time.Duration
+	retries    int
+	flaky      float64
+	live       bool
+}
 
 func main() {
 	var (
@@ -29,6 +47,10 @@ func main() {
 		resultSet  = flag.Int("max-result-set", 6, "maximum expected-result-set size")
 		verbose    = flag.Bool("v", false, "print every failing query")
 		reportDir  = flag.String("reports", "", "directory to write reproducible bug reports into (one .md per distinct bug)")
+		timeout    = flag.Duration("timeout", 20*time.Second, "per-query wall-clock deadline (negative disables the watchdog)")
+		retries    = flag.Int("retries", 2, "retries for transient connector errors (negative disables)")
+		flaky      = flag.Float64("flaky", 0, "inject transient connector errors at this rate (0..1) to exercise the retry machinery")
+		live       = flag.Bool("live", false, "manifest injected faults live: hangs block until the deadline, crashes panic in the connector")
 	)
 	flag.Parse()
 	if *reportDir != "" {
@@ -37,6 +59,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	opts := options{
+		seed: *seed, iterations: *iterations,
+		maxNodes: *maxNodes, maxRels: *maxRels,
+		maxSteps: *maxSteps, resultSet: *resultSet,
+		verbose: *verbose, reportDir: *reportDir,
+		timeout: *timeout, retries: *retries,
+		flaky: *flaky, live: *live,
+	}
 
 	names := []string{*gdbName}
 	if *gdbName == "all" {
@@ -44,7 +74,7 @@ func main() {
 	}
 	exit := 0
 	for _, name := range names {
-		if err := run(name, *seed, *iterations, *maxNodes, *maxRels, *maxSteps, *resultSet, *verbose, *reportDir); err != nil {
+		if err := run(name, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "gqs: %s: %v\n", name, err)
 			exit = 1
 		}
@@ -52,27 +82,39 @@ func main() {
 	os.Exit(exit)
 }
 
-func run(name string, seed int64, iterations, maxNodes, maxRels, maxSteps, resultSet int, verbose bool, reportDir string) error {
+func run(name string, o options) error {
 	sim, err := gdb.ByName(name)
 	if err != nil {
 		return err
 	}
 	defer sim.Close()
+	sim.SetLiveFaults(o.live)
+
+	var target gdb.Connector = sim
+	if o.flaky > 0 {
+		target = gdb.NewFlaky(sim, gdb.FlakyConfig{
+			Seed:           o.seed + 0x5eed,
+			ErrorRate:      o.flaky,
+			ResetErrorRate: o.flaky / 2,
+		})
+	}
 
 	cfg := core.DefaultRunnerConfig()
-	cfg.Seed = seed
-	cfg.Graph = graph.GenConfig{MaxNodes: maxNodes, MaxRels: maxRels}
-	cfg.Synth.MaxSteps = maxSteps
-	cfg.Synth.Plan.MaxResultSet = resultSet
+	cfg.Seed = o.seed
+	cfg.Graph = graph.GenConfig{MaxNodes: o.maxNodes, MaxRels: o.maxRels}
+	cfg.Synth.MaxSteps = o.maxSteps
+	cfg.Synth.Plan.MaxResultSet = o.resultSet
+	cfg.Robust.Timeout = o.timeout
+	cfg.Robust.Retries = o.retries
 
-	fmt.Printf("=== testing %s (seed %d, %d iterations) ===\n", name, seed, iterations)
+	fmt.Printf("=== testing %s (seed %d, %d iterations) ===\n", name, o.seed, o.iterations)
 	found := map[string]bool{}
-	rn := core.NewRunner(sim, cfg)
-	stats, err := rn.Run(iterations, func(tc *core.TestCase) {
+	rn := core.NewRunner(target, cfg)
+	stats, err := rn.Run(o.iterations, func(tc *core.TestCase) {
 		if tc.Verdict != core.VerdictLogicBug && tc.Verdict != core.VerdictErrorBug {
 			return
 		}
-		bug := sim.TriggeredBug()
+		bug := target.TriggeredBug()
 		tag := "UNATTRIBUTED"
 		fresh := true
 		if bug != nil {
@@ -80,20 +122,20 @@ func run(name string, seed int64, iterations, maxNodes, maxRels, maxSteps, resul
 			fresh = !found[bug.ID]
 			found[bug.ID] = true
 		}
-		if fresh && reportDir != "" && bug != nil {
-			path := reportDir + "/" + name + "-" + bug.ID + ".md"
+		if fresh && o.reportDir != "" && bug != nil {
+			path := o.reportDir + "/" + name + "-" + bug.ID + ".md"
 			if werr := os.WriteFile(path, []byte(tc.Report(name)), 0o644); werr != nil {
 				fmt.Fprintf(os.Stderr, "gqs: write report: %v\n", werr)
 			}
 		}
-		if !fresh && !verbose {
+		if !fresh && !o.verbose {
 			return
 		}
 		fmt.Printf("[%s] %s (query #%d, %d steps)\n", tc.Verdict, tag, tc.Seq, tc.Steps)
 		if bug != nil {
 			fmt.Printf("  %s\n", bug.Description)
 		}
-		if verbose {
+		if o.verbose {
 			fmt.Printf("  query: %s\n", tc.Query)
 			if tc.Verdict == core.VerdictLogicBug {
 				fmt.Printf("  expected: %v\n  actual:   %v\n", tc.Expected.Canonical(), tc.Actual.Canonical())
@@ -108,5 +150,11 @@ func run(name string, seed int64, iterations, maxNodes, maxRels, maxSteps, resul
 	fmt.Printf("%s: %d queries, %d passed, %d logic-bug reports, %d error reports, %d skipped; %d distinct bugs; %.1fs\n",
 		name, stats.Queries, stats.Passes, stats.LogicBugs, stats.ErrorBugs, stats.Skips,
 		len(found), stats.Elapsed.Seconds())
+	if rb := stats.Robust; rb != (core.RobustnessStats{}) {
+		fmt.Printf("%s: resilience: %d timeouts, %d retries (%d transient, %d give-ups), %d panics recovered, %d restarts (%d failed), %d breaker trips, %d abandoned graphs, %v downtime\n",
+			name, rb.Timeouts, rb.Retries, rb.TransientErrors, rb.TransientGiveUps,
+			rb.PanicsRecovered, rb.Restarts, rb.RestartFailures, rb.BreakerTrips,
+			rb.AbandonedGraphs, rb.Downtime.Round(time.Millisecond))
+	}
 	return nil
 }

@@ -23,6 +23,7 @@ package gqs
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"gqs/internal/core"
 	"gqs/internal/engine"
@@ -69,6 +70,15 @@ type Target = core.Target
 
 // Stats summarizes a testing campaign.
 type Stats = core.Stats
+
+// RobustnessConfig bounds the tester's resilience layer: per-query
+// timeouts, transient-error retries, restart backoff, and the per-target
+// circuit breaker. The zero value selects defaults.
+type RobustnessConfig = core.RobustnessConfig
+
+// RobustnessStats counts what the resilience layer absorbed during a
+// campaign (Stats.Robust).
+type RobustnessStats = core.RobustnessStats
 
 // TestCase is one synthesized query with its verdict.
 type TestCase = core.TestCase
@@ -118,6 +128,26 @@ func WithMaxSteps(steps int) TesterOption {
 // WithQueriesPerGraph sets how many ground truths are drawn per graph.
 func WithQueriesPerGraph(n int) TesterOption {
 	return func(c *core.RunnerConfig) { c.QueriesPerGraph = n }
+}
+
+// WithTimeout sets the per-query wall-clock deadline. A query exceeding
+// it is canceled: an error-bug when a fault hung the target, a skip
+// otherwise. Negative disables the watchdog.
+func WithTimeout(d time.Duration) TesterOption {
+	return func(c *core.RunnerConfig) { c.Robust.Timeout = d }
+}
+
+// WithRetries sets how many times a transient connector error (an error
+// exposing `Transient() bool`) is retried before the query is skipped.
+// Negative disables retries.
+func WithRetries(n int) TesterOption {
+	return func(c *core.RunnerConfig) { c.Robust.Retries = n }
+}
+
+// WithRobustness replaces the whole resilience configuration: timeouts,
+// retry and restart backoff, and the circuit-breaker threshold.
+func WithRobustness(rc RobustnessConfig) TesterOption {
+	return func(c *core.RunnerConfig) { c.Robust = rc }
 }
 
 // NewTester creates a tester for the target.

@@ -2,6 +2,7 @@ package gqs
 
 import (
 	"testing"
+	"time"
 )
 
 func TestDBQuickstart(t *testing.T) {
@@ -63,6 +64,33 @@ func TestTesterEndToEnd(t *testing.T) {
 	}
 	if bugs == 0 {
 		t.Error("the falkordb sim should yield bugs")
+	}
+}
+
+// TestTesterResilienceOptions: the public API drives the hardened runner
+// against live faults — the campaign survives real hangs and reports what
+// the resilience layer absorbed.
+func TestTesterResilienceOptions(t *testing.T) {
+	sim, err := OpenSim("falkordb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetLiveFaults(true)
+	tester := NewTester(sim,
+		WithSeed(3),
+		WithGraphSize(10, 30),
+		WithTimeout(25*time.Millisecond),
+		WithRetries(1),
+	)
+	stats, err := tester.Run(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries == 0 {
+		t.Fatal("no queries ran")
+	}
+	if stats.Robust.Timeouts == 0 && stats.Robust.PanicsRecovered == 0 {
+		t.Errorf("live falkordb faults should exercise the resilience layer: %+v", stats.Robust)
 	}
 }
 

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"gqs/internal/engine"
+	"gqs/internal/gdb"
+	"gqs/internal/graph"
+)
+
+// scriptTarget is a stub Target whose Execute behaviour is scripted per
+// test; Reset failures are scripted through resetErr.
+type scriptTarget struct {
+	exec     func(ctx context.Context) (*engine.Result, error)
+	resetErr func() error
+}
+
+func (s *scriptTarget) Name() string { return "stub" }
+func (s *scriptTarget) Reset(g *graph.Graph, sc *graph.Schema) error {
+	if s.resetErr != nil {
+		return s.resetErr()
+	}
+	return nil
+}
+func (s *scriptTarget) Execute(q string) (*engine.Result, error) {
+	return s.exec(context.Background())
+}
+func (s *scriptTarget) ExecuteCtx(ctx context.Context, q string) (*engine.Result, error) {
+	return s.exec(ctx)
+}
+func (s *scriptTarget) RelUniqueness() bool    { return true }
+func (s *scriptTarget) ProvidesDBLabels() bool { return true }
+
+// stubFaultErr mimics a fault-attributed connector error (hang, crash).
+type stubFaultErr struct{ id, kind string }
+
+func (e *stubFaultErr) Error() string     { return e.kind + " " + e.id }
+func (e *stubFaultErr) BugID() string     { return e.id }
+func (e *stubFaultErr) FaultKind() string { return e.kind }
+
+// stubTransientErr mimics a flaky-connection failure.
+type stubTransientErr struct{}
+
+func (e *stubTransientErr) Error() string   { return "connection reset" }
+func (e *stubTransientErr) Transient() bool { return true }
+
+func tinyRunnerConfig() RunnerConfig {
+	cfg := DefaultRunnerConfig()
+	cfg.Graph = graph.GenConfig{MaxNodes: 6, MaxRels: 12}
+	cfg.QueriesPerGraph = 2
+	cfg.QueriesPerGT = 1
+	cfg.Robust = RobustnessConfig{
+		Timeout: 30 * time.Millisecond,
+		Grace:   40 * time.Millisecond,
+	}
+	return cfg
+}
+
+func verdictTrace(rn *Runner, iterations int) string {
+	var sb strings.Builder
+	rn.Run(iterations, func(tc *TestCase) {
+		sb.WriteString(tc.Verdict.String())
+		sb.WriteByte(';')
+	})
+	return sb.String()
+}
+
+// TestHangTimeoutIsErrorBug: a connector hanging on a triggered fault is
+// canceled at the deadline and classified as the paper's hang class of
+// error-bugs, and the target is restarted afterwards.
+func TestHangTimeoutIsErrorBug(t *testing.T) {
+	tgt := &scriptTarget{exec: func(ctx context.Context) (*engine.Result, error) {
+		<-ctx.Done() // cooperative live hang: unwind once canceled
+		return nil, &stubFaultErr{id: "ST-H1", kind: "hang"}
+	}}
+	rn := NewRunner(tgt, tinyRunnerConfig())
+	if err := rn.RunIteration(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := rn.Stats()
+	if st.ErrorBugs == 0 {
+		t.Errorf("hang timeouts must be error-bugs: %+v", st)
+	}
+	if st.Robust.Timeouts == 0 {
+		t.Errorf("no timeout recorded: %+v", st.Robust)
+	}
+	if st.Robust.Restarts == 0 {
+		t.Errorf("a hang must force a restart: %+v", st.Robust)
+	}
+}
+
+// TestBenignTimeoutIsSkip: a slow query with no fault involved times out
+// into a skip — not evidence of a bug — and needs no restart.
+func TestBenignTimeoutIsSkip(t *testing.T) {
+	tgt := &scriptTarget{exec: func(ctx context.Context) (*engine.Result, error) {
+		<-ctx.Done()
+		return nil, engine.ErrCanceled
+	}}
+	rn := NewRunner(tgt, tinyRunnerConfig())
+	if err := rn.RunIteration(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := rn.Stats()
+	if st.ErrorBugs != 0 || st.LogicBugs != 0 {
+		t.Errorf("benign timeout counted as a bug: %+v", st)
+	}
+	if st.Skips == 0 || st.Robust.Timeouts == 0 {
+		t.Errorf("benign timeout not recorded as skip: %+v / %+v", st, st.Robust)
+	}
+	if st.Robust.Restarts != 0 {
+		t.Errorf("benign timeout must not restart the target: %+v", st.Robust)
+	}
+}
+
+// TestPanicIsolated: a connector panic (live crash fault) is recovered
+// into a crash verdict, the process survives, and the target restarts.
+func TestPanicIsolated(t *testing.T) {
+	tgt := &scriptTarget{exec: func(ctx context.Context) (*engine.Result, error) {
+		panic(&stubFaultErr{id: "ST-C1", kind: "crash"})
+	}}
+	rn := NewRunner(tgt, tinyRunnerConfig())
+	if err := rn.RunIteration(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := rn.Stats()
+	if st.Robust.PanicsRecovered == 0 {
+		t.Fatalf("panic not recovered: %+v", st.Robust)
+	}
+	if st.ErrorBugs == 0 {
+		t.Errorf("recovered panic must be an error-bug: %+v", st)
+	}
+	if st.Robust.Restarts == 0 {
+		t.Errorf("a crash must restart the target: %+v", st.Robust)
+	}
+}
+
+// TestPanicAttributionSurvives: a panic value carrying a BugID stays
+// reachable through PanicError's Unwrap for fault attribution.
+func TestPanicAttributionSurvives(t *testing.T) {
+	perr := &PanicError{Val: &stubFaultErr{id: "ST-C2", kind: "crash"}}
+	var b interface{ BugID() string }
+	if !errors.As(perr, &b) || b.BugID() != "ST-C2" {
+		t.Fatalf("BugID lost through PanicError: %v", perr)
+	}
+	if faultKind(perr) != "crash" {
+		t.Errorf("faultKind lost through PanicError")
+	}
+	if (&PanicError{Val: "boom"}).Unwrap() != nil {
+		t.Errorf("non-error panic value must unwrap to nil")
+	}
+}
+
+// TestWedgedConnectorRestarts: a connector that ignores cancellation past
+// the grace window is abandoned, skipped, and the target restarted.
+func TestWedgedConnectorRestarts(t *testing.T) {
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) }) // free the abandoned goroutines
+	tgt := &scriptTarget{exec: func(ctx context.Context) (*engine.Result, error) {
+		<-release // non-cooperative: ignores ctx entirely
+		return nil, errors.New("too late")
+	}}
+	cfg := tinyRunnerConfig()
+	cfg.Robust.Timeout = 15 * time.Millisecond
+	cfg.Robust.Grace = 15 * time.Millisecond
+	cfg.QueriesPerGraph = 1
+	rn := NewRunner(tgt, cfg)
+	if err := rn.RunIteration(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := rn.Stats()
+	if st.Skips == 0 || st.Robust.Timeouts == 0 {
+		t.Errorf("wedged call not skipped as timeout: %+v / %+v", st, st.Robust)
+	}
+	if st.ErrorBugs != 0 {
+		t.Errorf("wedge without fault attribution is not a bug: %+v", st)
+	}
+	if st.Robust.Restarts == 0 {
+		t.Errorf("a wedged connector must be restarted: %+v", st.Robust)
+	}
+}
+
+// failFirstAttempt wraps a healthy target, failing the first attempt of
+// every query transiently so each query needs exactly one retry.
+type failFirstAttempt struct {
+	Target
+	calls int
+}
+
+func (f *failFirstAttempt) ExecuteCtx(ctx context.Context, q string) (*engine.Result, error) {
+	f.calls++
+	if f.calls%2 == 1 {
+		return nil, &stubTransientErr{}
+	}
+	return f.Target.ExecuteCtx(ctx, q)
+}
+
+func (f *failFirstAttempt) Execute(q string) (*engine.Result, error) {
+	return f.ExecuteCtx(context.Background(), q)
+}
+
+// TestTransientRetrySucceeds: transient connector errors are retried and
+// the query still completes normally — retries are invisible to verdicts.
+func TestTransientRetrySucceeds(t *testing.T) {
+	tgt := &failFirstAttempt{Target: gdb.NewReference()}
+	rn := NewRunner(tgt, tinyRunnerConfig())
+	if err := rn.RunIteration(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := rn.Stats()
+	if st.Robust.Retries == 0 || st.Robust.TransientErrors == 0 {
+		t.Fatalf("no retries recorded: %+v", st.Robust)
+	}
+	if st.Robust.TransientGiveUps != 0 {
+		t.Errorf("retry should have succeeded: %+v", st.Robust)
+	}
+	if st.Passes == 0 {
+		t.Errorf("retried queries must still pass: %+v", st)
+	}
+	if st.ErrorBugs != 0 || st.LogicBugs != 0 {
+		t.Errorf("transient errors counted as bugs: %+v", st)
+	}
+}
+
+// TestTransientExhaustionIsSkip: a connection that stays down through
+// every retry yields skips, never error-bugs (satellite: classifyError
+// must not count transients as bugs).
+func TestTransientExhaustionIsSkip(t *testing.T) {
+	tgt := &scriptTarget{exec: func(ctx context.Context) (*engine.Result, error) {
+		return nil, &stubTransientErr{}
+	}}
+	rn := NewRunner(tgt, tinyRunnerConfig())
+	if err := rn.RunIteration(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := rn.Stats()
+	if st.ErrorBugs != 0 || st.LogicBugs != 0 {
+		t.Fatalf("transient exhaustion counted as a bug: %+v", st)
+	}
+	if st.Robust.TransientGiveUps == 0 || st.Skips == 0 {
+		t.Errorf("give-ups not recorded as skips: %+v / %+v", st, st.Robust)
+	}
+	// Every executed (not synthesis-skipped) query burns the default 2
+	// retries before giving up.
+	wantRetries := st.Robust.TransientGiveUps * 2
+	if st.Robust.Retries != wantRetries {
+		t.Errorf("Retries = %d, want %d", st.Robust.Retries, wantRetries)
+	}
+	if classifyError(&stubTransientErr{}) != VerdictSkip {
+		t.Errorf("classifyError must skip transient errors")
+	}
+}
+
+// flakyReset wraps a healthy target with a switchable Reset failure.
+type flakyReset struct {
+	Target
+	down bool
+}
+
+func (f *flakyReset) Reset(g *graph.Graph, s *graph.Schema) error {
+	if f.down {
+		return errors.New("instance did not come up")
+	}
+	return f.Target.Reset(g, s)
+}
+
+// TestBreakerTripsAndCampaignContinues: a target that cannot be brought
+// up trips the circuit breaker after the threshold of failed restart
+// sequences; the campaign records failed iterations and keeps going, and
+// once the target heals the half-open probe closes the breaker again.
+func TestBreakerTripsAndCampaignContinues(t *testing.T) {
+	tgt := &flakyReset{Target: gdb.NewReference(), down: true}
+	cfg := tinyRunnerConfig()
+	rn := NewRunner(tgt, cfg)
+
+	if _, err := rn.Run(5, nil); err != nil {
+		t.Fatalf("a dead target must not abort the campaign: %v", err)
+	}
+	st := rn.Stats()
+	if st.Robust.FailedIterations != 5 {
+		t.Errorf("FailedIterations = %d, want 5", st.Robust.FailedIterations)
+	}
+	if st.Robust.BreakerTrips != 1 {
+		t.Errorf("BreakerTrips = %d, want 1", st.Robust.BreakerTrips)
+	}
+	if open, fails := rn.Breaker(); !open || fails < 3 {
+		t.Errorf("breaker open=%v fails=%d, want open after 3 failed sequences", open, fails)
+	}
+	if st.Graphs != 0 || st.Queries != 0 {
+		t.Errorf("no queries should run against a dead target: %+v", st)
+	}
+	// With the breaker open each iteration costs one probe, not a full
+	// restart sequence.
+	failuresWhileOpen := st.Robust.RestartFailures
+
+	// The target heals: the next half-open probe closes the breaker and
+	// the campaign resumes producing verdicts.
+	tgt.down = false
+	if _, err := rn.Run(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = rn.Stats()
+	if open, _ := rn.Breaker(); open {
+		t.Errorf("breaker must close after a successful probe")
+	}
+	if st.Graphs != 2 || st.Queries == 0 {
+		t.Errorf("campaign did not resume after recovery: %+v", st)
+	}
+	if st.Robust.RestartFailures != failuresWhileOpen {
+		t.Errorf("healed target still failing restarts: %+v", st.Robust)
+	}
+	if st.Robust.Downtime == 0 {
+		t.Errorf("failed restart sequences must book downtime")
+	}
+}
+
+// liveFlakyRunner builds the reproducibility scenario: a live-faults sim
+// behind a seeded flaky connection, under timeouts and retries.
+func liveFlakyRunner(seed int64) *Runner {
+	sim := gdb.NewMemgraphSim().SetLiveFaults(true)
+	fl := gdb.NewFlaky(sim, gdb.FlakyConfig{
+		Seed:           seed + 100,
+		ErrorRate:      0.15,
+		ResetErrorRate: 0.10,
+	})
+	cfg := DefaultRunnerConfig()
+	cfg.Seed = seed
+	cfg.Graph = graph.GenConfig{MaxNodes: 10, MaxRels: 30}
+	cfg.QueriesPerGraph = 4
+	cfg.QueriesPerGT = 2
+	cfg.Robust = RobustnessConfig{Timeout: 40 * time.Millisecond}
+	return NewRunner(fl, cfg)
+}
+
+// TestCampaignReproducible: same seed + same config ⇒ byte-identical
+// verdict sequence and identical stats (wall-clock Elapsed aside), even
+// with the flaky wrapper and live hang faults enabled. Backoff jitter
+// draws from a dedicated RNG precisely so failures never perturb the
+// synthesis stream.
+func TestCampaignReproducible(t *testing.T) {
+	run := func() (string, Stats) {
+		rn := liveFlakyRunner(7)
+		trace := verdictTrace(rn, 4)
+		st := rn.Stats()
+		st.Elapsed = 0 // wall-clock; everything else is deterministic
+		return trace, st
+	}
+	traceA, statsA := run()
+	traceB, statsB := run()
+	if traceA != traceB {
+		t.Fatalf("verdict sequences diverge:\n%s\n%s", traceA, traceB)
+	}
+	if !reflect.DeepEqual(statsA, statsB) {
+		t.Fatalf("stats diverge:\n%+v\n%+v", statsA, statsB)
+	}
+	if statsA.Queries == 0 || statsA.Robust.TransientErrors == 0 {
+		t.Errorf("scenario too tame to prove anything: %+v", statsA)
+	}
+}

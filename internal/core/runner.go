@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"time"
@@ -15,6 +16,13 @@ type Target interface {
 	Name() string
 	Reset(g *graph.Graph, schema *graph.Schema) error
 	Execute(query string) (*engine.Result, error)
+	// ExecuteCtx runs the query under a context; the runner's watchdog
+	// cancels it at the per-query deadline. Implementations should abort
+	// promptly once the context is canceled (returning
+	// engine.ErrCanceled or the in-flight fault's error); calls that
+	// ignore cancellation past the grace window are abandoned and the
+	// target is restarted.
+	ExecuteCtx(ctx context.Context, query string) (*engine.Result, error)
 	RelUniqueness() bool
 	ProvidesDBLabels() bool
 }
@@ -68,6 +76,10 @@ type RunnerConfig struct {
 	Synth           Config
 	QueriesPerGraph int // ground truths drawn per generated graph
 	QueriesPerGT    int // queries synthesized per ground truth
+	// Robust bounds the resilience layer: per-query timeouts, transient
+	// retries, restart backoff, and the circuit breaker. The zero value
+	// selects defaults; see RobustnessConfig.
+	Robust RobustnessConfig
 }
 
 // DefaultRunnerConfig mirrors §5.1.
@@ -90,17 +102,34 @@ type Stats struct {
 	ErrorBugs int
 	Skips     int
 	Elapsed   time.Duration
+	// Robust counts what the resilience layer absorbed: timeouts,
+	// retries, restarts, breaker trips, recovered panics, downtime.
+	Robust RobustnessStats
 }
 
 // Runner drives the GQS workflow (Figure 3) against one target:
 // ① generate a graph, ② select ground truths, ③ synthesize queries,
-// ④ validate results, restarting the instance per graph.
+// ④ validate results, restarting the instance per graph — and keeps the
+// campaign alive through hangs, crashes, panics, and flaky connections
+// (see robust.go).
 type Runner struct {
 	cfg    RunnerConfig
 	target Target
 	r      *rand.Rand
 	seq    int
 	stats  Stats
+
+	// Resilience state. jr is a dedicated jitter RNG so backoff draws
+	// never perturb the graph/synthesis stream — same seed, same
+	// verdict sequence, with or without failures.
+	rb           RobustnessConfig
+	jr           *rand.Rand
+	consecFails  int  // consecutive failed restart sequences (breaker input)
+	breakerOpen  bool // circuit breaker state
+	abandonGraph bool // set when a mid-graph restart sequence fails
+	needRecover  bool // a crash/hang verdict is awaiting a restart
+	curGraph     *graph.Graph
+	curSchema    *graph.Schema
 }
 
 // NewRunner creates a runner for the target.
@@ -111,7 +140,19 @@ func NewRunner(target Target, cfg RunnerConfig) *Runner {
 	if cfg.QueriesPerGT <= 0 {
 		cfg.QueriesPerGT = 1
 	}
-	return &Runner{cfg: cfg, target: target, r: rand.New(rand.NewSource(cfg.Seed))}
+	return &Runner{
+		cfg:    cfg,
+		target: target,
+		r:      rand.New(rand.NewSource(cfg.Seed)),
+		rb:     cfg.Robust.withDefaults(),
+		jr:     rand.New(rand.NewSource(cfg.Seed ^ 0x6a77_3b2c_9d1e_5f48)),
+	}
+}
+
+// Breaker reports the circuit-breaker state: whether it is open and the
+// current streak of consecutive failed restart sequences.
+func (rn *Runner) Breaker() (open bool, consecutiveFailures int) {
+	return rn.breakerOpen, rn.consecFails
 }
 
 // Stats returns the campaign statistics so far.
@@ -120,11 +161,22 @@ func (rn *Runner) Stats() Stats { return rn.stats }
 // RunIteration performs one full workflow iteration: a fresh graph, a
 // restarted instance, and a batch of synthesized queries. The report
 // callback observes every test case.
+//
+// A target that cannot be brought up — even through the restart sequence
+// — no longer aborts the campaign: the iteration is recorded as failed
+// (Stats.Robust.FailedIterations) and the caller moves on to the next
+// graph, with the circuit breaker bounding how much effort each dead
+// iteration costs.
 func (rn *Runner) RunIteration(report func(*TestCase)) error {
 	start := time.Now()
+	defer func() { rn.stats.Elapsed += time.Since(start) }()
+
 	g, schema := graph.Generate(rn.r, rn.cfg.Graph)
-	if err := rn.target.Reset(g, schema); err != nil {
-		return err
+	rn.curGraph, rn.curSchema = g, schema
+	rn.abandonGraph = false
+	if !rn.ensureUp() {
+		rn.stats.Robust.FailedIterations++
+		return nil
 	}
 	rn.stats.Graphs++
 
@@ -133,17 +185,28 @@ func (rn *Runner) RunIteration(report func(*TestCase)) error {
 	synthCfg.ProvidesDBLabels = rn.target.ProvidesDBLabels()
 	syn := NewSynthesizer(rn.r, g, schema, synthCfg)
 
-	for q := 0; q < rn.cfg.QueriesPerGraph; q++ {
+	for q := 0; q < rn.cfg.QueriesPerGraph && !rn.abandonGraph; q++ {
 		gt := SelectGroundTruth(rn.r, g, rn.cfg.Plan().MaxResultSet)
-		for k := 0; k < rn.cfg.QueriesPerGT; k++ {
+		for k := 0; k < rn.cfg.QueriesPerGT && !rn.abandonGraph; k++ {
 			tc := rn.runOne(syn, gt)
 			tc.Graph, tc.Schema = g, schema
 			if report != nil {
 				report(tc)
 			}
+			// Recover only after the report callback ran: a restart
+			// Resets the connector, which would wipe the fault
+			// attribution (TriggeredBug) the observer reads.
+			if rn.needRecover {
+				rn.needRecover = false
+				rn.recoverTarget()
+			}
 		}
 	}
-	rn.stats.Elapsed += time.Since(start)
+	if rn.abandonGraph {
+		// The target could not be restarted mid-graph; degrade
+		// gracefully and let the next iteration probe again.
+		rn.stats.Robust.AbandonedGraphs++
+	}
 	return nil
 }
 
@@ -185,37 +248,98 @@ func (rn *Runner) runOne(syn *Synthesizer, gt *GroundTruth) *TestCase {
 	tc.Steps = sq.Steps
 	tc.Expected = sq.Expected
 
-	actual, err := rn.target.Execute(sq.Text)
-	if err != nil {
-		tc.Err = err
-		tc.Verdict = classifyError(err)
-		return tc
+	// Execute through the watchdog, retrying transient connector errors
+	// with jittered backoff. A flaky connection must never inflate bug
+	// counts: retries are not verdicts, and exhausting them is a skip.
+	var out execOutcome
+	for attempt := 0; ; attempt++ {
+		out = rn.executeGuarded(sq.Text)
+		if !isTransient(out.err) {
+			break
+		}
+		rn.stats.Robust.TransientErrors++
+		if attempt >= rn.rb.Retries {
+			rn.stats.Robust.TransientGiveUps++
+			tc.Err = out.err
+			tc.Verdict = VerdictSkip
+			return tc
+		}
+		rn.stats.Robust.Retries++
+		rn.pause(rn.jitter(rn.rb.RetryBackoff << attempt))
 	}
-	tc.Actual = actual
-	if sq.Expected.Equal(actual) {
-		tc.Verdict = VerdictPass
-	} else {
-		tc.Verdict = VerdictLogicBug
+
+	switch {
+	case out.panicked:
+		// A crashed server manifests as a panic in the connector;
+		// isolate it, report the crash, and restart the instance.
+		rn.stats.Robust.PanicsRecovered++
+		tc.Err = out.err
+		tc.Verdict = VerdictErrorBug
+		rn.needRecover = true
+	case out.timedOut:
+		rn.stats.Robust.Timeouts++
+		tc.Err = out.err
+		if hasBugID(out.err) {
+			// A triggered fault hung the query: the paper's hang class
+			// of error-bugs (§5.4.4).
+			tc.Verdict = VerdictErrorBug
+			rn.needRecover = true
+		} else {
+			// Benign timeout: not evidence either way, like the
+			// paper's per-query timeouts. A wedged connector (ignored
+			// cancellation) still forces a restart.
+			tc.Verdict = VerdictSkip
+			if out.wedged {
+				rn.needRecover = true
+			}
+		}
+	case out.err != nil:
+		tc.Err = out.err
+		tc.Verdict = classifyError(out.err)
+		if k := faultKind(out.err); k == "crash" || k == "hang" {
+			// Simulated crash/hang errors still model a dead or stuck
+			// instance: run the same restart sequence the live modes do.
+			rn.needRecover = true
+		}
+	default:
+		tc.Actual = out.res
+		if sq.Expected.Equal(out.res) {
+			tc.Verdict = VerdictPass
+		} else {
+			tc.Verdict = VerdictLogicBug
+		}
 	}
 	return tc
 }
 
 // classifyError separates true error-bugs (crashes, hangs, unexpected
-// exceptions) from resource-limit aborts, which are skipped as the
-// paper's timeouts are.
+// exceptions) from outcomes that are not evidence of a bug: resource
+// limit aborts and cancellations are skipped as the paper's timeouts
+// are, and transient connector errors (flaky connections, post-retry)
+// must never count as bugs.
 func classifyError(err error) Verdict {
 	var lim *engine.ErrResourceLimit
 	if errors.As(err, &lim) {
 		return VerdictSkip
 	}
+	if errors.Is(err, engine.ErrCanceled) {
+		return VerdictSkip
+	}
+	if isTransient(err) {
+		return VerdictSkip
+	}
 	return VerdictErrorBug
 }
 
-// Run executes n workflow iterations.
+// Run executes n workflow iterations. Failed iterations (target down
+// past the restart sequence) are recorded in Stats.Robust and do not
+// abort the campaign.
 func (rn *Runner) Run(n int, report func(*TestCase)) (Stats, error) {
 	for i := 0; i < n; i++ {
 		if err := rn.RunIteration(report); err != nil {
-			return rn.stats, err
+			// Defensive: RunIteration absorbs failures itself today,
+			// but a future error path must still not kill the campaign.
+			rn.stats.Robust.FailedIterations++
 		}
 	}
 	return rn.stats, nil

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gqs/internal/graph"
+)
+
+// TestLimitsDefaultIndependently is the regression test for the
+// partial-limits clobbering bug: Options{Limits: Limits{MaxMatchSteps: n}}
+// with MaxRows == 0 must keep the caller's MaxMatchSteps and default only
+// MaxRows (and vice versa).
+func TestLimitsDefaultIndependently(t *testing.T) {
+	def := DefaultLimits()
+
+	e := New(Options{Limits: Limits{MaxMatchSteps: 123}})
+	if e.opts.Limits.MaxMatchSteps != 123 {
+		t.Errorf("MaxMatchSteps clobbered: got %d, want 123", e.opts.Limits.MaxMatchSteps)
+	}
+	if e.opts.Limits.MaxRows != def.MaxRows {
+		t.Errorf("MaxRows not defaulted: got %d, want %d", e.opts.Limits.MaxRows, def.MaxRows)
+	}
+
+	e = New(Options{Limits: Limits{MaxRows: 77}})
+	if e.opts.Limits.MaxRows != 77 {
+		t.Errorf("MaxRows clobbered: got %d, want 77", e.opts.Limits.MaxRows)
+	}
+	if e.opts.Limits.MaxMatchSteps != def.MaxMatchSteps {
+		t.Errorf("MaxMatchSteps not defaulted: got %d, want %d", e.opts.Limits.MaxMatchSteps, def.MaxMatchSteps)
+	}
+
+	e = New(Options{})
+	if e.opts.Limits != def {
+		t.Errorf("zero limits must fully default: got %+v", e.opts.Limits)
+	}
+}
+
+// denseEngine loads a graph big enough that an unanchored multi-pattern
+// cartesian MATCH takes many millions of match steps.
+func denseEngine(t *testing.T) *Engine {
+	t.Helper()
+	r := rand.New(rand.NewSource(5))
+	g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 40, MaxRels: 300})
+	e := New(Options{Limits: Limits{MaxMatchSteps: 1 << 40, MaxRows: 1 << 40}})
+	e.LoadGraph(g, schema)
+	return e
+}
+
+const cartesianQuery = `MATCH (a)-[]-(b), (c)-[]-(d), (e)-[]-(f), (g)-[]-(h) RETURN count(*) AS n`
+
+func TestExecuteCtxCanceled(t *testing.T) {
+	e := denseEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the first poll must abort the query
+	_, err := e.ExecuteCtx(ctx, cartesianQuery)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestExecuteCtxDeadline(t *testing.T) {
+	e := denseEngine(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.ExecuteCtx(ctx, cartesianQuery)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v (after %v), want ErrCanceled", err, elapsed)
+	}
+	// The poll window is 256 steps, so the engine must notice the deadline
+	// promptly — generous bound to stay robust under -race.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, cooperative checks too sparse", elapsed)
+	}
+}
+
+// TestExecuteCtxBackground verifies that a background context changes
+// nothing: the query completes and the engine clears its context field.
+func TestExecuteCtxBackground(t *testing.T) {
+	e := New(Options{})
+	res, err := e.ExecuteCtx(context.Background(), `RETURN 1 AS x`)
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("ExecuteCtx: %v %v", res, err)
+	}
+	if e.ctx != nil {
+		t.Error("engine context not cleared after execution")
+	}
+	// A plain Execute after a canceled ExecuteCtx must run normally.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecuteCtx(ctx, `UNWIND range(1, 2000) AS x RETURN count(x) AS n`); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled UNWIND: %v", err)
+	}
+	res, err = e.Execute(`UNWIND range(1, 2000) AS x RETURN count(x) AS n`)
+	if err != nil || res.Rows[0][0].AsInt() != 2000 {
+		t.Fatalf("Execute after cancel: %v %v", res, err)
+	}
+}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"gqs/internal/cypher/ast"
@@ -53,6 +55,12 @@ func (e *ErrResourceLimit) Error() string {
 	return fmt.Sprintf("query exceeded resource limit: %s", e.What)
 }
 
+// ErrCanceled is returned by ExecuteCtx when the context is canceled or
+// its deadline expires mid-query. It is distinct from ErrResourceLimit:
+// a cancellation says nothing about the query itself, only that the
+// caller's wall-clock budget ran out.
+var ErrCanceled = errors.New("query canceled")
+
 // Options configure an engine instance.
 type Options struct {
 	Dialect Dialect
@@ -76,15 +84,25 @@ type Engine struct {
 	// planTrace records, for tests and ablation benches, which access
 	// paths the planner chose during the most recent query.
 	planTrace []string
+	// ctx is the context of the in-flight ExecuteCtx call; cancelTick
+	// rate-limits how often the hot loops poll it.
+	ctx        context.Context
+	cancelTick uint
 }
 
-// New creates an engine with the given options.
+// New creates an engine with the given options. Each unset limit field
+// defaults independently, so a caller overriding only MaxMatchSteps
+// keeps the default MaxRows (and vice versa).
 func New(opts Options) *Engine {
 	if opts.Dialect.Name == "" {
 		opts.Dialect = Reference
 	}
+	def := DefaultLimits()
 	if opts.Limits.MaxRows == 0 {
-		opts.Limits = DefaultLimits()
+		opts.Limits.MaxRows = def.MaxRows
+	}
+	if opts.Limits.MaxMatchSteps == 0 {
+		opts.Limits.MaxMatchSteps = def.MaxMatchSteps
 	}
 	return &Engine{store: NewStore(), opts: opts}
 }
@@ -112,16 +130,59 @@ func (e *Engine) Execute(query string) (*Result, error) {
 	return e.ExecuteParams(query, nil)
 }
 
+// ExecuteCtx parses and runs a query under a context. The match-expansion
+// loop and the row pipeline poll the context and abort with ErrCanceled
+// once it is canceled, so a watchdog can bound a query by wall-clock time
+// without killing the engine.
+func (e *Engine) ExecuteCtx(ctx context.Context, query string) (*Result, error) {
+	return e.ExecuteParamsCtx(ctx, query, nil)
+}
+
 // ExecuteParams parses and runs a query with bound parameters ($name).
 func (e *Engine) ExecuteParams(query string, params map[string]value.Value) (*Result, error) {
+	return e.ExecuteParamsCtx(context.Background(), query, params)
+}
+
+// ExecuteParamsCtx parses and runs a parameterized query under a context.
+func (e *Engine) ExecuteParamsCtx(ctx context.Context, query string, params map[string]value.Value) (*Result, error) {
 	q, err := parser.Parse(query)
 	if err != nil {
 		return nil, err
 	}
 	e.params = params
-	defer func() { e.params = nil }()
+	e.ctx = ctx
+	defer func() { e.params = nil; e.ctx = nil }()
 	return e.ExecuteAST(q)
 }
+
+// checkCancel polls the in-flight context every cancelCheckWindow calls.
+// It is cheap enough to sit inside the match-expansion and row loops.
+func (e *Engine) checkCancel() error {
+	if e.ctx == nil {
+		return nil
+	}
+	e.cancelTick++
+	if e.cancelTick&(cancelCheckWindow-1) != 0 {
+		return nil
+	}
+	if e.ctx.Err() != nil {
+		return ErrCanceled
+	}
+	return nil
+}
+
+// checkCancelNow polls the in-flight context unconditionally; used at
+// clause boundaries where the check is rare relative to the work done.
+func (e *Engine) checkCancelNow() error {
+	if e.ctx != nil && e.ctx.Err() != nil {
+		return ErrCanceled
+	}
+	return nil
+}
+
+// cancelCheckWindow is how many hot-loop iterations pass between context
+// polls; must be a power of two.
+const cancelCheckWindow = 256
 
 // Explain runs the query and returns the access paths the planner chose,
 // one entry per scan decision — a light-weight EXPLAIN.
@@ -185,6 +246,9 @@ func (e *Engine) executeSingle(s *ast.SingleQuery) (*Result, error) {
 	rows := []row{{}}
 	var result *Result
 	for i, c := range s.Clauses {
+		if err := e.checkCancelNow(); err != nil {
+			return nil, err
+		}
 		last := i == len(s.Clauses)-1
 		var err error
 		switch c := c.(type) {

@@ -134,7 +134,7 @@ func (m *matcher) step() error {
 	if *m.steps > m.maxSteps {
 		return &ErrResourceLimit{What: "match steps"}
 	}
-	return nil
+	return m.engine.checkCancel()
 }
 
 // applyReadyConjuncts evaluates every not-yet-applied conjunct whose

@@ -16,6 +16,9 @@ import (
 func (e *Engine) execUnwind(c *ast.UnwindClause, in []row) ([]row, error) {
 	var out []row
 	for _, r := range in {
+		if err := e.checkCancel(); err != nil {
+			return nil, err
+		}
 		v, err := e.evalIn(r, c.Expr)
 		if err != nil {
 			return nil, err
@@ -120,6 +123,9 @@ func (e *Engine) project(p *ast.Projection, in []row, requireAlias bool) ([]row,
 		orderEnv = projected
 	} else {
 		for _, r := range in {
+			if err := e.checkCancel(); err != nil {
+				return nil, nil, err
+			}
 			nr := make(row, len(items))
 			for _, it := range items {
 				v, err := e.evalIn(r, it.expr)
@@ -318,6 +324,9 @@ func (e *Engine) aggregate(items []projectionItem, in []row) ([]row, error) {
 	}
 
 	for _, r := range in {
+		if err := e.checkCancel(); err != nil {
+			return nil, err
+		}
 		keyVals := map[string]value.Value{}
 		keyStr := ""
 		for _, it := range items {

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -38,6 +39,9 @@ type Campaign struct {
 	Findings []*Finding
 	Queries  int
 	Skips    int
+	// Robust sums what the resilience layer absorbed across all targets
+	// (timeouts, retries, restarts, breaker trips, downtime).
+	Robust core.RobustnessStats
 }
 
 // CampaignConfig bounds a GQS campaign.
@@ -46,6 +50,15 @@ type CampaignConfig struct {
 	Iterations int // graph generations per GDB
 	Graph      graph.GenConfig
 	Synth      core.Config
+	// Live makes injected faults manifest for real — hangs block until
+	// the watchdog cancels them, crashes panic inside the connector —
+	// instead of returning simulated errors.
+	Live bool
+	// FlakyRate wraps each target in a gdb.Flaky injector dropping this
+	// fraction of calls with transient errors (0 disables).
+	FlakyRate float64
+	// Robust bounds the runner's resilience layer (zero ⇒ defaults).
+	Robust core.RobustnessConfig
 }
 
 // DefaultCampaignConfig is sized so the full Table 3 campaign runs in
@@ -81,8 +94,18 @@ func (c *Campaign) runOn(sim *gdb.Sim, cfg CampaignConfig) {
 		Synth:           cfg.Synth,
 		QueriesPerGraph: 6,
 		QueriesPerGT:    2,
+		Robust:          cfg.Robust,
 	}
-	rn := core.NewRunner(sim, rcfg)
+	sim.SetLiveFaults(cfg.Live)
+	var tgt gdb.Connector = sim
+	if cfg.FlakyRate > 0 {
+		tgt = gdb.NewFlaky(sim, gdb.FlakyConfig{
+			Seed:           cfg.Seed + 0x5eed,
+			ErrorRate:      cfg.FlakyRate,
+			ResetErrorRate: cfg.FlakyRate / 2,
+		})
+	}
+	rn := core.NewRunner(tgt, rcfg)
 	rn.Run(cfg.Iterations, func(tc *core.TestCase) {
 		c.Queries++
 		switch tc.Verdict {
@@ -92,7 +115,7 @@ func (c *Campaign) runOn(sim *gdb.Sim, cfg CampaignConfig) {
 		case core.VerdictPass:
 			return
 		}
-		b := sim.TriggeredBug()
+		b := tgt.TriggeredBug()
 		if b == nil || seen[b.ID] {
 			return
 		}
@@ -108,6 +131,7 @@ func (c *Campaign) runOn(sim *gdb.Sim, cfg CampaignConfig) {
 			Schema:   tc.Schema,
 		})
 	})
+	c.Robust.Add(rn.Stats().Robust)
 }
 
 // ByGDB groups findings per GDB.
@@ -151,7 +175,11 @@ func (rt *recordingTarget) Reset(g *graph.Graph, schema *graph.Schema) error {
 }
 
 func (rt *recordingTarget) Execute(q string) (*engine.Result, error) {
-	res, err := rt.sim.Execute(q)
+	return rt.ExecuteCtx(context.Background(), q)
+}
+
+func (rt *recordingTarget) ExecuteCtx(ctx context.Context, q string) (*engine.Result, error) {
+	res, err := rt.sim.ExecuteCtx(ctx, q)
 	if b := rt.sim.TriggeredBug(); b != nil {
 		rt.bugs[b.ID] = b
 	}
@@ -291,6 +319,9 @@ func (p *recordingPeer) Reset(g *graph.Graph, s *graph.Schema) error {
 	return p.rt.Reset(g, s)
 }
 func (p *recordingPeer) Execute(q string) (*engine.Result, error) { return p.rt.Execute(q) }
+func (p *recordingPeer) ExecuteCtx(ctx context.Context, q string) (*engine.Result, error) {
+	return p.rt.ExecuteCtx(ctx, q)
+}
 
 func hasBugError(err error) bool {
 	if err == nil {
@@ -336,7 +367,13 @@ func RunGQSTimeline(gdbName string, rounds int, seed int64) (*TesterCampaign, er
 	}
 	rn := core.NewRunner(sim, cfg)
 	round := 0
-	for round < rounds {
+	// Stall guard: RunIteration no longer errors on a dead target (it
+	// records a failed iteration and returns), so a permanently-down
+	// instance must not spin this budget loop forever.
+	const maxStalls = 25
+	stalls := 0
+	for round < rounds && stalls < maxStalls {
+		before := round
 		err := rn.RunIteration(func(tc *core.TestCase) {
 			round++
 			if round > rounds {
@@ -356,6 +393,11 @@ func RunGQSTimeline(gdbName string, rounds int, seed int64) (*TesterCampaign, er
 		})
 		if err != nil {
 			return nil, err
+		}
+		if round == before {
+			stalls++
+		} else {
+			stalls = 0
 		}
 	}
 	return out, nil

@@ -1,5 +1,7 @@
 package faults
 
+import "time"
+
 // The injected-fault catalog. The per-GDB counts reproduce Table 3 of
 // the paper (26 logic + 10 other bugs; confirmed/fixed as reported), the
 // introduction ages reproduce the Table 4 latency analysis, and the
@@ -25,13 +27,13 @@ func Catalogs() map[string]*Set {
 func Neo4j() *Set {
 	return &Set{GDB: "neo4j", Bugs: []*Bug{
 		{
-			ID: "N4J-O3", GDB: "neo4j", Kind: Exception,
+			ID: "N4J-O3", GDB: "neo4j", Kind: Exception, Latency: 2 * time.Millisecond,
 			Description:        "codegen exception for reverse() under deep nesting",
 			Trigger:            Trigger{MinDepth: 10, Func: "reverse", MinClauses: 4, HashMod: 7, HashEq: 3},
 			IntroducedYearsAgo: 0.2, Confirmed: true, Fixed: true,
 		},
 		{
-			ID: "N4J-O2", GDB: "neo4j", Kind: Crash,
+			ID: "N4J-O2", GDB: "neo4j", Kind: Crash, Latency: time.Millisecond,
 			Description:        "crash when UNION combines two multi-clause queries with many references",
 			Trigger:            Trigger{MinClauses: 8, MinRefs: 24, Union: true, HashMod: 2, HashEq: 0},
 			IntroducedYearsAgo: 0.3, Confirmed: true, Fixed: true,
@@ -111,7 +113,7 @@ func Memgraph() *Set {
 func Kuzu() *Set {
 	return &Set{GDB: "kuzu", Bugs: []*Bug{
 		{
-			ID: "KZ-O2", GDB: "kuzu", Kind: Exception,
+			ID: "KZ-O2", GDB: "kuzu", Kind: Exception, Latency: time.Millisecond,
 			Description:        "left() under deep nesting raises an internal exception",
 			Trigger:            Trigger{MinDepth: 6, Func: "left", HashMod: 17, HashEq: 4},
 			IntroducedYearsAgo: 0.4, Confirmed: true, Fixed: true,
@@ -135,7 +137,7 @@ func Kuzu() *Set {
 			IntroducedYearsAgo: 0.8, Confirmed: true, Fixed: true,
 		},
 		{
-			ID: "KZ-O1", GDB: "kuzu", Kind: Crash,
+			ID: "KZ-O1", GDB: "kuzu", Kind: Crash, Latency: 2 * time.Millisecond,
 			Description:        "crash compiling deep expressions over many patterns",
 			Trigger:            Trigger{MinDepth: 9, MinPatterns: 4, MinRefs: 16, HashMod: 7, HashEq: 1},
 			IntroducedYearsAgo: 0.5, Confirmed: true, Fixed: true,
@@ -191,7 +193,7 @@ func FalkorDB() *Set {
 			IntroducedYearsAgo: 1.8, Confirmed: false, Fixed: false,
 		},
 		{
-			ID: "FK-O3", GDB: "falkordb", Kind: Exception,
+			ID: "FK-O3", GDB: "falkordb", Kind: Exception, Latency: time.Millisecond,
 			Description:        "expression stack overflow beyond ten nesting levels",
 			Trigger:            Trigger{MinDepth: 13, HashMod: 7, HashEq: 4},
 			IntroducedYearsAgo: 3.5, Confirmed: false, Fixed: false,
@@ -209,7 +211,7 @@ func FalkorDB() *Set {
 			IntroducedYearsAgo: 4.0, Confirmed: false, Fixed: false,
 		},
 		{
-			ID: "FK-O1", GDB: "falkordb", Kind: Crash,
+			ID: "FK-O1", GDB: "falkordb", Kind: Crash, Latency: time.Millisecond,
 			Description:        "crash on seven-pattern cartesian plans (the five-year latent bug)",
 			Trigger:            Trigger{MinPatterns: 7, HashMod: 7, HashEq: 0},
 			IntroducedYearsAgo: 5.0, Confirmed: true, Fixed: true,

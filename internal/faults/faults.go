@@ -17,9 +17,11 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"gqs/internal/engine"
 	"gqs/internal/metrics"
@@ -139,6 +141,11 @@ type Bug struct {
 	Description string
 	Trigger     Trigger
 
+	// Latency is extra processing time a triggered execution spends
+	// before the bug manifests. It is honoured only in live mode, where
+	// the harness's timeout/watchdog path is exercised for real.
+	Latency time.Duration
+
 	// Metadata for Tables 3 and 4.
 	IntroducedYearsAgo float64
 	Confirmed          bool
@@ -159,9 +166,64 @@ func (e *BugError) Error() string { return fmt.Sprintf("[%s/%s] %s", e.ID, e.Kin
 // BugID returns the fault identifier.
 func (e *BugError) BugID() string { return e.ID }
 
+// FaultKind names the bug class ("crash", "hang", "exception", "logic")
+// so harness layers can pick a recovery strategy without importing the
+// Kind type.
+func (e *BugError) FaultKind() string { return e.Kind.String() }
+
 // Apply manifests the bug on a query result, deterministically in the
-// query hash. For non-logic bugs it returns the corresponding error.
+// query hash. For non-logic bugs it returns the corresponding error. This
+// is the instant "simulated" manifestation; ManifestCtx adds live mode.
 func (b *Bug) Apply(res *engine.Result, f *metrics.Features) (*engine.Result, error) {
+	return b.ManifestCtx(context.Background(), false, res, f)
+}
+
+// sleepCtx blocks for d or until the context is canceled, reporting
+// whether it slept the full duration.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// ManifestCtx manifests the bug on a query result, deterministically in
+// the query hash. In simulated mode (live == false) non-logic bugs return
+// instantly with the corresponding error — cheap, for high-volume
+// experiment campaigns. In live mode the bug behaves the way the real
+// bug class does, so the harness's watchdog/recovery paths are exercised
+// for real rather than pretended:
+//
+//   - Hang blocks until ctx is canceled (the Figure 9 non-termination),
+//     then reports the hang error to the unwinding execution path;
+//   - Crash panics with the *BugError, as a connector whose server
+//     process died mid-call would;
+//   - Exception and logic bugs manifest as usual, after the bug's
+//     injected Latency (canceled early if ctx expires first).
+func (b *Bug) ManifestCtx(ctx context.Context, live bool, res *engine.Result, f *metrics.Features) (*engine.Result, error) {
+	if live {
+		switch b.Kind {
+		case Hang:
+			<-ctx.Done()
+			return nil, &BugError{ID: b.ID, Kind: Hang, Msg: "query did not terminate; canceled by watchdog"}
+		case Crash:
+			if !sleepCtx(ctx, b.Latency) {
+				return nil, &BugError{ID: b.ID, Kind: Crash, Msg: "server process terminated unexpectedly"}
+			}
+			panic(&BugError{ID: b.ID, Kind: Crash, Msg: "server process terminated unexpectedly"})
+		default:
+			if !sleepCtx(ctx, b.Latency) {
+				return nil, engine.ErrCanceled
+			}
+		}
+	}
 	switch b.Kind {
 	case Crash:
 		return nil, &BugError{ID: b.ID, Kind: Crash, Msg: "server process terminated unexpectedly (simulated)"}
@@ -262,29 +324,53 @@ type Set struct {
 	Bugs []*Bug
 }
 
-// Apply runs the catalog against a query: the first triggered fault
-// manifests (one root cause per execution, as real engines fail on the
-// first broken code path). It returns the possibly-corrupted result, the
-// possibly-injected error, and the triggered bug for attribution.
-func (s *Set) Apply(f *metrics.Features, res *engine.Result, execErr error) (*engine.Result, error, *Bug) {
+// Select returns the first catalog fault the query triggers (one root
+// cause per execution, as real engines fail on the first broken code
+// path), or nil. Logic bugs do not trigger on queries that already
+// failed outright — there is no result to corrupt.
+func (s *Set) Select(f *metrics.Features, execErr error) *Bug {
 	if s == nil || f == nil {
-		return res, execErr, nil
+		return nil
 	}
 	for _, b := range s.Bugs {
 		if !b.Trigger.Matches(f) {
 			continue
 		}
-		if b.Kind == Logic {
-			if execErr != nil {
-				continue // the query failed outright; nothing to corrupt
-			}
-			out, _ := b.Apply(res, f)
-			return out, nil, b
+		if b.Kind == Logic && execErr != nil {
+			continue
 		}
-		_, err := b.Apply(nil, f)
-		return nil, err, b
+		return b
 	}
-	return res, execErr, nil
+	return nil
+}
+
+// Apply runs the catalog against a query in simulated mode: the first
+// triggered fault manifests instantly. It returns the possibly-corrupted
+// result, the possibly-injected error, and the triggered bug for
+// attribution.
+func (s *Set) Apply(f *metrics.Features, res *engine.Result, execErr error) (*engine.Result, error, *Bug) {
+	return s.ApplyCtx(context.Background(), false, f, res, execErr)
+}
+
+// ApplyCtx runs the catalog against a query, manifesting the first
+// triggered fault in simulated or live mode (see Bug.ManifestCtx). Note
+// that in live mode a Crash fault panics out of this call — callers that
+// need attribution across the panic should Select first, record the bug,
+// then ManifestCtx themselves (as the gdb connectors do).
+func (s *Set) ApplyCtx(ctx context.Context, live bool, f *metrics.Features, res *engine.Result, execErr error) (*engine.Result, error, *Bug) {
+	b := s.Select(f, execErr)
+	if b == nil {
+		return res, execErr, nil
+	}
+	if b.Kind == Logic {
+		out, merr := b.ManifestCtx(ctx, live, res, f)
+		if merr != nil { // canceled mid-latency: not a manifested result
+			return nil, merr, b
+		}
+		return out, nil, b
+	}
+	_, err := b.ManifestCtx(ctx, live, nil, f)
+	return nil, err, b
 }
 
 // ByID finds a bug in the set.

@@ -1,0 +1,141 @@
+package gdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gqs/internal/engine"
+	"gqs/internal/faults"
+	"gqs/internal/graph"
+)
+
+// TransientError is a connection-level failure — the connection dropped,
+// the server was momentarily busy — that says nothing about the query or
+// the database's correctness. Retrying the same call may well succeed,
+// and a tester must never count one as a bug.
+type TransientError struct {
+	Reason string
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("transient connector error: %s", e.Reason)
+}
+
+// Transient marks the error as retryable; the runner classifies errors
+// through this method rather than the concrete type, so user-provided
+// connectors can participate by implementing it on their own errors.
+func (e *TransientError) Transient() bool { return true }
+
+// IsTransient reports whether err is (or wraps) a transient connector
+// error, identified structurally by a `Transient() bool` method.
+func IsTransient(err error) bool {
+	var tr interface{ Transient() bool }
+	return errors.As(err, &tr) && tr.Transient()
+}
+
+// transientReasons rotate deterministically through the failure modes a
+// flaky network connection produces.
+var transientReasons = []string{
+	"connection reset by peer",
+	"server busy",
+	"i/o timeout while reading response header",
+}
+
+// FlakyConfig configures the deterministic transient-fault injector.
+type FlakyConfig struct {
+	// Seed drives the injector's own RNG; the same seed and call
+	// sequence reproduce the same injected failures.
+	Seed int64
+	// ErrorRate is the probability an Execute call fails with a
+	// TransientError before reaching the wrapped connector.
+	ErrorRate float64
+	// ResetErrorRate is the probability a Reset call fails transiently;
+	// it exercises the runner's restart-with-backoff path. Zero disables.
+	ResetErrorRate float64
+	// Latency is added to every call that reaches the wrapped connector,
+	// canceled early if the context expires first.
+	Latency time.Duration
+}
+
+// Flaky wraps a Connector with deterministic, seeded transient-fault
+// injection: some calls fail with a TransientError before reaching the
+// wrapped connector, and surviving calls are delayed by Latency. It
+// models the flaky network between a long-running fuzzing campaign and
+// its database server, so the harness's retry/backoff machinery can be
+// tested without one.
+type Flaky struct {
+	inner Connector
+	cfg   FlakyConfig
+	r     *rand.Rand
+	// dropped marks that the most recent Execute never reached the inner
+	// connector, so its TriggeredBug would be stale.
+	dropped bool
+}
+
+// NewFlaky wraps a connector in a transient-fault injector.
+func NewFlaky(inner Connector, cfg FlakyConfig) *Flaky {
+	return &Flaky{inner: inner, cfg: cfg, r: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Name implements Connector.
+func (f *Flaky) Name() string { return f.inner.Name() }
+
+// RelUniqueness implements Connector.
+func (f *Flaky) RelUniqueness() bool { return f.inner.RelUniqueness() }
+
+// ProvidesDBLabels implements Connector.
+func (f *Flaky) ProvidesDBLabels() bool { return f.inner.ProvidesDBLabels() }
+
+// Close implements Connector.
+func (f *Flaky) Close() error { return f.inner.Close() }
+
+// TriggeredBug implements Connector; nil when the most recent Execute
+// was dropped by the injector (the wrapped connector never saw it).
+func (f *Flaky) TriggeredBug() *faults.Bug {
+	if f.dropped {
+		return nil
+	}
+	return f.inner.TriggeredBug()
+}
+
+// nextReason draws the deterministic failure mode for one injected error.
+func (f *Flaky) nextReason() string {
+	return transientReasons[f.r.Intn(len(transientReasons))]
+}
+
+// Reset implements Connector, failing transiently at ResetErrorRate.
+func (f *Flaky) Reset(g *graph.Graph, schema *graph.Schema) error {
+	if f.cfg.ResetErrorRate > 0 && f.r.Float64() < f.cfg.ResetErrorRate {
+		return &TransientError{Reason: f.nextReason()}
+	}
+	return f.inner.Reset(g, schema)
+}
+
+// Execute implements Connector.
+func (f *Flaky) Execute(query string) (*engine.Result, error) {
+	return f.ExecuteCtx(context.Background(), query)
+}
+
+// ExecuteCtx implements Connector: the injected failure happens before
+// the inner connector sees the query (the connection dropped in flight),
+// which keeps the inner engine's state independent of the injection.
+func (f *Flaky) ExecuteCtx(ctx context.Context, query string) (*engine.Result, error) {
+	if f.cfg.ErrorRate > 0 && f.r.Float64() < f.cfg.ErrorRate {
+		f.dropped = true
+		return nil, &TransientError{Reason: f.nextReason()}
+	}
+	f.dropped = false
+	if f.cfg.Latency > 0 {
+		t := time.NewTimer(f.cfg.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, engine.ErrCanceled
+		}
+	}
+	return f.inner.ExecuteCtx(ctx, query)
+}

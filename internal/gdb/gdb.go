@@ -7,6 +7,7 @@
 package gdb
 
 import (
+	"context"
 	"fmt"
 
 	"gqs/internal/engine"
@@ -23,6 +24,10 @@ type Connector interface {
 	// restarts the database for each new graph (§5.4.4).
 	Reset(g *graph.Graph, schema *graph.Schema) error
 	Execute(query string) (*engine.Result, error)
+	// ExecuteCtx runs the query under a context so the harness watchdog
+	// can cancel it; implementations must return (engine.ErrCanceled or
+	// the in-flight fault's error) promptly after cancellation.
+	ExecuteCtx(ctx context.Context, query string) (*engine.Result, error)
 	// RelUniqueness reports whether the dialect enforces relationship
 	// uniqueness (§4: FalkorDB and Kùzu deviate).
 	RelUniqueness() bool
@@ -64,6 +69,7 @@ type Sim struct {
 	requiresSchema bool
 	lastBug        *faults.Bug
 	closed         bool
+	live           bool
 }
 
 // options for constructing simulated GDBs.
@@ -178,18 +184,46 @@ func (s *Sim) Reset(g *graph.Graph, schema *graph.Schema) error {
 	return nil
 }
 
+// SetLiveFaults toggles live fault manifestation: Hang bugs really block
+// until the context is canceled, Crash bugs panic inside the connector,
+// and per-bug latency is injected — so the harness's watchdog, panic
+// isolation, and restart paths are exercised for real. Off (the default)
+// keeps the instant simulated manifestation for high-volume experiments.
+func (s *Sim) SetLiveFaults(live bool) *Sim {
+	s.live = live
+	return s
+}
+
 // Execute implements Connector: parse, measure, run, then pass the result
 // through the fault catalog.
 func (s *Sim) Execute(query string) (*engine.Result, error) {
+	return s.ExecuteCtx(context.Background(), query)
+}
+
+// ExecuteCtx implements Connector. The triggered bug is recorded before
+// it manifests, so attribution survives a live crash panicking out of
+// this call or a live hang being canceled by the watchdog.
+func (s *Sim) ExecuteCtx(ctx context.Context, query string) (*engine.Result, error) {
 	if s.closed {
 		return nil, fmt.Errorf("%s: connector is closed", s.name)
 	}
 	s.lastBug = nil
 	f := metrics.Analyze(query)
-	res, err := s.eng.Execute(query)
-	res, err, bug := s.bugs.Apply(f, res, err)
+	res, err := s.eng.ExecuteCtx(ctx, query)
+	bug := s.bugs.Select(f, err)
 	s.lastBug = bug
-	return res, err
+	if bug == nil {
+		return res, err
+	}
+	if bug.Kind == faults.Logic {
+		out, merr := bug.ManifestCtx(ctx, s.live, res, f)
+		if merr != nil { // canceled mid-latency: not a manifested result
+			return nil, merr
+		}
+		return out, nil
+	}
+	_, err = bug.ManifestCtx(ctx, s.live, nil, f)
+	return nil, err
 }
 
 // TriggeredBug implements Connector.
