@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify smoke
+.PHONY: build test vet race bench bench-go verify smoke
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Sharded-executor throughput bench: the same fixed-seed campaign at 1
+# worker and at GOMAXPROCS workers; writes BENCH_pr2.json and fails if
+# the two runs report different bug sets.
 bench:
+	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr2.json
+
+# Go micro-benchmarks (the pre-existing bench target).
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
 # Tier-1 verification gate (see ROADMAP.md).

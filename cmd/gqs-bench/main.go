@@ -19,11 +19,13 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table2, table3, table4, table5, table6, fig10..fig15, fig18, replay, falsealarms, ablation, or all")
+		exp        = flag.String("exp", "all", "experiment: table2, table3, table4, table5, table6, fig10..fig15, fig18, replay, falsealarms, ablation, bench, or all")
 		seed       = flag.Int64("seed", 1, "random seed")
-		iterations = flag.Int("iterations", 60, "GQS campaign iterations per GDB (table3/fig10-15)")
+		iterations = flag.Int("iterations", 60, "GQS campaign iterations per GDB (table3/fig10-15, bench)")
 		n          = flag.Int("n", 2000, "queries per tester for table5 (paper: 10000)")
 		rounds     = flag.Int("rounds", 400, "oracle rounds per tester per GDB for table6/fig18")
+		workers    = flag.Int("workers", 0, "worker-pool size for -exp bench (0 = GOMAXPROCS)")
+		benchOut   = flag.String("bench-out", "", "write the -exp bench result to this JSON file")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -105,6 +107,23 @@ func main() {
 	if want("ablation") {
 		experiments.Ablation(w, 10, *seed)
 		fmt.Fprintln(w)
+		ran = true
+	}
+	// bench runs only when asked by name: it repeats the whole campaign
+	// twice, which would double the runtime of -exp all for no table.
+	if *exp == "bench" {
+		res := experiments.RunThroughputBench(w, *seed, *iterations, *workers)
+		fmt.Fprintln(w)
+		if *benchOut != "" {
+			if err := res.WriteJSON(*benchOut); err != nil {
+				fmt.Fprintf(os.Stderr, "gqs-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if !res.IdenticalBugSets {
+			fmt.Fprintln(os.Stderr, "gqs-bench: bug sets differ across worker counts — determinism contract broken")
+			os.Exit(1)
+		}
 		ran = true
 	}
 	if want("falsealarms") {

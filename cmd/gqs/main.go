@@ -13,11 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"gqs/internal/core"
+	"gqs/internal/faults"
 	"gqs/internal/gdb"
 	"gqs/internal/graph"
+	"gqs/internal/metrics"
 )
 
 // options carries the flag values into each per-GDB run.
@@ -34,6 +37,7 @@ type options struct {
 	retries    int
 	flaky      float64
 	live       bool
+	workers    int
 }
 
 func main() {
@@ -51,6 +55,7 @@ func main() {
 		retries    = flag.Int("retries", 2, "retries for transient connector errors (negative disables)")
 		flaky      = flag.Float64("flaky", 0, "inject transient connector errors at this rate (0..1) to exercise the retry machinery")
 		live       = flag.Bool("live", false, "manifest injected faults live: hangs block until the deadline, crashes panic in the connector")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for the sharded executor; the reported bug set is identical for every value at the same seed (0 = legacy sequential runner)")
 	)
 	flag.Parse()
 	if *reportDir != "" {
@@ -66,6 +71,7 @@ func main() {
 		verbose: *verbose, reportDir: *reportDir,
 		timeout: *timeout, retries: *retries,
 		flaky: *flaky, live: *live,
+		workers: *workers,
 	}
 
 	names := []string{*gdbName}
@@ -74,12 +80,120 @@ func main() {
 	}
 	exit := 0
 	for _, name := range names {
-		if err := run(name, opts); err != nil {
+		runner := run
+		if opts.workers > 0 {
+			runner = runParallel
+		}
+		if err := runner(name, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "gqs: %s: %v\n", name, err)
 			exit = 1
 		}
 	}
 	os.Exit(exit)
+}
+
+// runnerConfig translates the flags into the runner configuration both
+// executors share.
+func runnerConfig(o options) core.RunnerConfig {
+	cfg := core.DefaultRunnerConfig()
+	cfg.Seed = o.seed
+	cfg.Graph = graph.GenConfig{MaxNodes: o.maxNodes, MaxRels: o.maxRels}
+	cfg.Synth.MaxSteps = o.maxSteps
+	cfg.Synth.Plan.MaxResultSet = o.resultSet
+	cfg.Robust.Timeout = o.timeout
+	cfg.Robust.Retries = o.retries
+	return cfg
+}
+
+// runParallel is the sharded executor path (-workers >= 1): iterations
+// fan out across a worker pool, detections are buffered per shard, and
+// the output is printed in canonical shard order — so it is identical
+// for every worker count at the same seed.
+func runParallel(name string, o options) error {
+	if _, err := gdb.ByName(name); err != nil {
+		return err // reject unknown names before spinning up a pool
+	}
+	connect := gdb.NewFactory(gdb.FactoryConfig{
+		GDB: name, Live: o.live, FlakyRate: o.flaky, Seed: o.seed,
+	})
+	pcfg := core.ParallelConfig{
+		Workers:    o.workers,
+		Iterations: o.iterations,
+		Runner:     runnerConfig(o),
+	}
+	fmt.Printf("=== testing %s (seed %d, %d iterations, %d workers) ===\n",
+		name, o.seed, o.iterations, o.workers)
+
+	// Detections are buffered per shard (the observer runs concurrently
+	// across shards, sequentially within one — disjoint slots need no
+	// lock) and rendered after the pool drains, in shard order.
+	type detection struct {
+		bug *faults.Bug
+		tc  *core.TestCase
+	}
+	logs := make([][]detection, o.iterations)
+	meter := metrics.NewMeter()
+	ps := core.RunParallel(pcfg, func(shard int) (core.Target, error) { return connect(shard) },
+		func(shard int, target core.Target, tc *core.TestCase) {
+			meter.AddQuery()
+			if tc.Verdict != core.VerdictLogicBug && tc.Verdict != core.VerdictErrorBug {
+				return
+			}
+			var bug *faults.Bug
+			if tb, ok := target.(interface{ TriggeredBug() *faults.Bug }); ok {
+				bug = tb.TriggeredBug()
+			}
+			logs[shard] = append(logs[shard], detection{bug: bug, tc: tc})
+		})
+	meter.AddIterations(len(ps.Shards))
+
+	found := map[string]bool{}
+	for shard, dets := range logs {
+		for _, d := range dets {
+			tag := "UNATTRIBUTED"
+			fresh := true
+			if d.bug != nil {
+				tag = d.bug.ID
+				fresh = !found[tag]
+				found[tag] = true
+			}
+			if fresh && o.reportDir != "" && d.bug != nil {
+				path := o.reportDir + "/" + name + "-" + d.bug.ID + ".md"
+				if werr := os.WriteFile(path, []byte(d.tc.Report(name)), 0o644); werr != nil {
+					fmt.Fprintf(os.Stderr, "gqs: write report: %v\n", werr)
+				}
+			}
+			if !fresh && !o.verbose {
+				continue
+			}
+			fmt.Printf("[%s] %s (shard %d, query #%d, %d steps)\n", d.tc.Verdict, tag, shard, d.tc.Seq, d.tc.Steps)
+			if d.bug != nil {
+				fmt.Printf("  %s\n", d.bug.Description)
+			}
+			if o.verbose {
+				fmt.Printf("  query: %s\n", d.tc.Query)
+				if d.tc.Verdict == core.VerdictLogicBug {
+					fmt.Printf("  expected: %v\n  actual:   %v\n", d.tc.Expected.Canonical(), d.tc.Actual.Canonical())
+				} else {
+					fmt.Printf("  error: %v\n", d.tc.Err)
+				}
+			}
+		}
+	}
+	for range found {
+		meter.AddBug()
+	}
+	stats := ps.Stats
+	printSummary(name, stats, len(found))
+	// The busy/wall ratio is the parallelism actually achieved: per-shard
+	// busy time sums in stats.Elapsed while Wall is the pool's clock.
+	parallelism := 0.0
+	if ps.Wall > 0 {
+		parallelism = stats.Elapsed.Seconds() / ps.Wall.Seconds()
+	}
+	fmt.Printf("%s: throughput: %s; %d workers, %.2fx parallelism\n",
+		name, meter.Snapshot(), ps.Workers, parallelism)
+	return nil
 }
 
 func run(name string, o options) error {
@@ -99,13 +213,7 @@ func run(name string, o options) error {
 		})
 	}
 
-	cfg := core.DefaultRunnerConfig()
-	cfg.Seed = o.seed
-	cfg.Graph = graph.GenConfig{MaxNodes: o.maxNodes, MaxRels: o.maxRels}
-	cfg.Synth.MaxSteps = o.maxSteps
-	cfg.Synth.Plan.MaxResultSet = o.resultSet
-	cfg.Robust.Timeout = o.timeout
-	cfg.Robust.Retries = o.retries
+	cfg := runnerConfig(o)
 
 	fmt.Printf("=== testing %s (seed %d, %d iterations) ===\n", name, o.seed, o.iterations)
 	found := map[string]bool{}
@@ -147,14 +255,19 @@ func run(name string, o options) error {
 	if err != nil {
 		return err
 	}
+	printSummary(name, stats, len(found))
+	return nil
+}
+
+// printSummary renders the per-GDB closing lines both executors share.
+func printSummary(name string, stats core.Stats, distinct int) {
 	fmt.Printf("%s: %d queries, %d passed, %d logic-bug reports, %d error reports, %d skipped; %d distinct bugs; %.1fs\n",
 		name, stats.Queries, stats.Passes, stats.LogicBugs, stats.ErrorBugs, stats.Skips,
-		len(found), stats.Elapsed.Seconds())
+		distinct, stats.Elapsed.Seconds())
 	if rb := stats.Robust; rb != (core.RobustnessStats{}) {
 		fmt.Printf("%s: resilience: %d timeouts, %d retries (%d transient, %d give-ups), %d panics recovered, %d restarts (%d failed), %d breaker trips, %d abandoned graphs, %v downtime\n",
 			name, rb.Timeouts, rb.Retries, rb.TransientErrors, rb.TransientGiveUps,
 			rb.PanicsRecovered, rb.Restarts, rb.RestartFailures, rb.BreakerTrips,
 			rb.AbandonedGraphs, rb.Downtime.Round(time.Millisecond))
 	}
-	return nil
 }

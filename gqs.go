@@ -23,6 +23,7 @@ package gqs
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"gqs/internal/core"
@@ -99,70 +100,123 @@ func OpenSim(name string) (*gdb.Sim, error) { return gdb.ByName(name) }
 // Tester runs the GQS workflow — generate graph, select ground truth,
 // synthesize query, validate — against a target.
 type Tester struct {
-	runner *core.Runner
+	runner  *core.Runner
+	factory TargetFactory
+	cfg     testerConfig
+}
+
+// testerConfig is the option-accumulation state behind TesterOption:
+// the runner configuration plus tester-level knobs that have no home in
+// core.RunnerConfig (the worker-pool size).
+type testerConfig struct {
+	runner  core.RunnerConfig
+	workers int
 }
 
 // TesterOption customizes a Tester.
-type TesterOption func(*core.RunnerConfig)
+type TesterOption func(*testerConfig)
 
 // WithSeed fixes the random seed (campaigns are fully deterministic per
 // seed).
 func WithSeed(seed int64) TesterOption {
-	return func(c *core.RunnerConfig) { c.Seed = seed }
+	return func(c *testerConfig) { c.runner.Seed = seed }
 }
 
 // WithGraphSize bounds the generated graphs.
 func WithGraphSize(maxNodes, maxRels int) TesterOption {
-	return func(c *core.RunnerConfig) {
-		c.Graph.MaxNodes = maxNodes
-		c.Graph.MaxRels = maxRels
+	return func(c *testerConfig) {
+		c.runner.Graph.MaxNodes = maxNodes
+		c.runner.Graph.MaxRels = maxRels
 	}
 }
 
 // WithMaxSteps bounds the synthesis steps per query (the paper uses up
 // to 9).
 func WithMaxSteps(steps int) TesterOption {
-	return func(c *core.RunnerConfig) { c.Synth.MaxSteps = steps }
+	return func(c *testerConfig) { c.runner.Synth.MaxSteps = steps }
 }
 
 // WithQueriesPerGraph sets how many ground truths are drawn per graph.
 func WithQueriesPerGraph(n int) TesterOption {
-	return func(c *core.RunnerConfig) { c.QueriesPerGraph = n }
+	return func(c *testerConfig) { c.runner.QueriesPerGraph = n }
 }
 
 // WithTimeout sets the per-query wall-clock deadline. A query exceeding
 // it is canceled: an error-bug when a fault hung the target, a skip
 // otherwise. Negative disables the watchdog.
 func WithTimeout(d time.Duration) TesterOption {
-	return func(c *core.RunnerConfig) { c.Robust.Timeout = d }
+	return func(c *testerConfig) { c.runner.Robust.Timeout = d }
 }
 
 // WithRetries sets how many times a transient connector error (an error
 // exposing `Transient() bool`) is retried before the query is skipped.
 // Negative disables retries.
 func WithRetries(n int) TesterOption {
-	return func(c *core.RunnerConfig) { c.Robust.Retries = n }
+	return func(c *testerConfig) { c.runner.Robust.Retries = n }
 }
 
 // WithRobustness replaces the whole resilience configuration: timeouts,
 // retry and restart backoff, and the circuit-breaker threshold.
 func WithRobustness(rc RobustnessConfig) TesterOption {
-	return func(c *core.RunnerConfig) { c.Robust = rc }
+	return func(c *testerConfig) { c.runner.Robust = rc }
 }
+
+// WithWorkers sets the worker-pool size of a sharded tester
+// (NewShardedTester); 0 selects GOMAXPROCS. The merged Stats are
+// identical for every worker count at the same seed — only wall-clock
+// time changes. Ignored by NewTester, whose single shared target cannot
+// be driven concurrently.
+func WithWorkers(n int) TesterOption {
+	return func(c *testerConfig) { c.workers = n }
+}
+
+// TargetFactory builds one independent target per shard for a sharded
+// tester; see core.TargetFactory for the isolation contract.
+type TargetFactory = core.TargetFactory
 
 // NewTester creates a tester for the target.
 func NewTester(target Target, opts ...TesterOption) *Tester {
-	cfg := core.DefaultRunnerConfig()
+	cfg := testerConfig{runner: core.DefaultRunnerConfig()}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Tester{runner: core.NewRunner(target, cfg)}
+	return &Tester{runner: core.NewRunner(target, cfg.runner), cfg: cfg}
+}
+
+// NewShardedTester creates a tester that fans its iterations across a
+// worker pool (WithWorkers, default GOMAXPROCS). Each of Run's n
+// iterations becomes a logical shard with a seed derived from
+// (WithSeed, shard index) and a fresh target from the factory, so the
+// merged stats do not depend on the worker count.
+func NewShardedTester(factory TargetFactory, opts ...TesterOption) *Tester {
+	cfg := testerConfig{runner: core.DefaultRunnerConfig()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Tester{factory: factory, cfg: cfg}
 }
 
 // Run performs n full workflow iterations (one generated graph each),
-// invoking report for every synthesized test case.
+// invoking report for every synthesized test case. On a sharded tester
+// the iterations run across the worker pool and report is serialized
+// (never called concurrently), but cases from different shards may
+// interleave; use TestCase fields, not call order, to correlate.
 func (t *Tester) Run(n int, report func(*TestCase)) (Stats, error) {
-	return t.runner.Run(n, report)
+	if t.factory == nil {
+		return t.runner.Run(n, report)
+	}
+	pcfg := core.ParallelConfig{Workers: t.cfg.workers, Iterations: n, Runner: t.cfg.runner}
+	var observe func(int, core.Target, *core.TestCase)
+	if report != nil {
+		var mu sync.Mutex
+		observe = func(_ int, _ core.Target, tc *core.TestCase) {
+			mu.Lock()
+			defer mu.Unlock()
+			report(tc)
+		}
+	}
+	ps := core.RunParallel(pcfg, t.factory, observe)
+	return ps.Stats, nil
 }
 
 // Synthesize builds a single ground-truth/query pair over a given graph,

@@ -67,6 +67,41 @@ func TestTesterEndToEnd(t *testing.T) {
 	}
 }
 
+// TestShardedTesterEndToEnd: the public sharded API fans iterations
+// across a worker pool, and the merged stats match a one-worker run of
+// the same seed (wall-clock fields aside).
+func TestShardedTesterEndToEnd(t *testing.T) {
+	factory := func(shard int) (Target, error) { return OpenSim("falkordb") }
+	run := func(workers int) Stats {
+		t.Helper()
+		tester := NewShardedTester(factory,
+			WithSeed(3),
+			WithGraphSize(10, 30),
+			WithMaxSteps(7),
+			WithQueriesPerGraph(5),
+			WithWorkers(workers),
+		)
+		cases := 0
+		stats, err := tester.Run(8, func(tc *TestCase) { cases++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cases != stats.Queries {
+			t.Fatalf("report saw %d cases, stats count %d", cases, stats.Queries)
+		}
+		stats.Elapsed = 0
+		stats.Robust.Downtime = 0
+		return stats
+	}
+	one, four := run(1), run(4)
+	if one != four {
+		t.Fatalf("sharded stats differ across worker counts:\n  workers=1: %+v\n  workers=4: %+v", one, four)
+	}
+	if one.Queries == 0 {
+		t.Fatal("no queries ran")
+	}
+}
+
 // TestTesterResilienceOptions: the public API drives the hardened runner
 // against live faults — the campaign survives real hangs and reports what
 // the resilience layer absorbed.

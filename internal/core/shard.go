@@ -1,0 +1,171 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"gqs/internal/functions"
+)
+
+// This file is the sharded parallel campaign executor. The paper's
+// evaluation runs month-long fuzzing campaigns; a sequential runner caps
+// throughput at one core. The workflow is embarrassingly parallel per
+// iteration — every iteration generates its own graph, restarts its own
+// instance, and synthesizes its own queries — so the executor fans
+// iterations across a worker pool.
+//
+// The determinism contract: the unit of sharding is the LOGICAL
+// iteration, not the worker. Shard i derives its RNG seed from
+// (campaign seed, i) alone, runs on a fresh Runner against a fresh
+// connector from the factory, and records its stats into slot i. The
+// work decomposition is therefore independent of how many workers drain
+// the shard queue, and a merged campaign at `seed S, workers 1` reports
+// the byte-identical bug set as `seed S, workers N` — only wall-clock
+// time changes.
+
+// ShardSeed derives the RNG seed of logical shard i from the campaign
+// seed. Exposed so connector factories can derive matching per-shard
+// streams (e.g. flaky-injection seeds) that stay independent of the
+// worker count.
+func ShardSeed(seed int64, shard int) int64 {
+	return functions.DeriveSeed(seed, int64(shard))
+}
+
+// TargetFactory builds the connector for one shard. Every call must
+// return an independent instance — its own engine, fault catalog, and
+// flaky wrapper — because shards execute concurrently and connectors are
+// not goroutine-safe.
+type TargetFactory func(shard int) (Target, error)
+
+// ParallelConfig bounds one sharded campaign.
+type ParallelConfig struct {
+	// Workers is the worker-pool size; 0 selects GOMAXPROCS. The pool is
+	// clamped to Iterations (more workers than shards is waste).
+	Workers int
+	// Iterations is the number of logical shards, one workflow iteration
+	// (graph generation + instance restart + query batch) each.
+	Iterations int
+	// Runner configures each shard's runner. Runner.Seed is the campaign
+	// seed; shard i runs with ShardSeed(Runner.Seed, i).
+	Runner RunnerConfig
+}
+
+// ShardStats is one shard's outcome.
+type ShardStats struct {
+	Shard int
+	Stats Stats
+}
+
+// ParallelStats is the merged, order-independent outcome of a sharded
+// campaign: per-field sums over the shards plus the pool's wall-clock
+// time (the merged Stats.Elapsed sums per-shard busy time, so
+// Elapsed/Wall approximates the achieved parallelism).
+type ParallelStats struct {
+	Stats
+	Wall    time.Duration
+	Workers int
+	Shards  []ShardStats // indexed by shard, always in shard order
+}
+
+// IterationsPerSec is the campaign's wall-clock iteration throughput.
+func (p *ParallelStats) IterationsPerSec() float64 {
+	if p.Wall <= 0 {
+		return 0
+	}
+	return float64(len(p.Shards)) / p.Wall.Seconds()
+}
+
+// QueriesPerSec is the campaign's wall-clock query throughput.
+func (p *ParallelStats) QueriesPerSec() float64 {
+	if p.Wall <= 0 {
+		return 0
+	}
+	return float64(p.Queries) / p.Wall.Seconds()
+}
+
+// Add accumulates another stats block; the merge layer sums per-shard
+// stats this way, so the totals are independent of completion order.
+func (s *Stats) Add(o Stats) {
+	s.Graphs += o.Graphs
+	s.Queries += o.Queries
+	s.Passes += o.Passes
+	s.LogicBugs += o.LogicBugs
+	s.ErrorBugs += o.ErrorBugs
+	s.Skips += o.Skips
+	s.Elapsed += o.Elapsed
+	s.Robust.Add(o.Robust)
+}
+
+// RunParallel executes cfg.Iterations logical shards across a worker
+// pool and merges the results. observe (optional) sees every test case
+// together with its shard index and that shard's target (for fault
+// attribution): calls for one shard are sequential, but calls for
+// different shards arrive concurrently from different goroutines —
+// observers touching shared state must synchronize.
+//
+// A factory error costs one failed iteration (recorded in the merged
+// Stats.Robust), never the campaign — the same degraded-not-dead
+// contract the sequential runner keeps.
+func RunParallel(cfg ParallelConfig, factory TargetFactory, observe func(shard int, target Target, tc *TestCase)) *ParallelStats {
+	start := time.Now()
+	n := cfg.Iterations
+	if n < 0 {
+		n = 0
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	perShard := make([]Stats, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := range jobs {
+				perShard[shard] = runShard(cfg, shard, factory, observe)
+			}
+		}()
+	}
+	for shard := 0; shard < n; shard++ {
+		jobs <- shard
+	}
+	close(jobs)
+	wg.Wait()
+
+	ps := &ParallelStats{Workers: workers, Wall: time.Since(start)}
+	ps.Shards = make([]ShardStats, n)
+	for i := range perShard {
+		ps.Shards[i] = ShardStats{Shard: i, Stats: perShard[i]}
+		ps.Stats.Add(perShard[i])
+	}
+	return ps
+}
+
+// runShard executes one logical shard: fresh seed, fresh connector,
+// fresh runner, one workflow iteration.
+func runShard(cfg ParallelConfig, shard int, factory TargetFactory, observe func(int, Target, *TestCase)) Stats {
+	rcfg := cfg.Runner
+	rcfg.Seed = ShardSeed(cfg.Runner.Seed, shard)
+	target, err := factory(shard)
+	if err != nil {
+		var s Stats
+		s.Robust.FailedIterations++
+		return s
+	}
+	if c, ok := target.(interface{ Close() error }); ok {
+		defer c.Close()
+	}
+	rn := NewRunner(target, rcfg)
+	var report func(*TestCase)
+	if observe != nil {
+		report = func(tc *TestCase) { observe(shard, target, tc) }
+	}
+	rn.RunIteration(report)
+	return rn.Stats()
+}

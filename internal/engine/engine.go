@@ -8,6 +8,7 @@ import (
 	"gqs/internal/cypher/ast"
 	"gqs/internal/cypher/parser"
 	"gqs/internal/eval"
+	"gqs/internal/functions"
 	"gqs/internal/graph"
 	"gqs/internal/value"
 )
@@ -74,6 +75,11 @@ type Options struct {
 	// rows in different orders (one of the differential-tester
 	// false-positive sources of §5.4.3).
 	ReverseScan bool
+	// Seed drives the execution-scoped state behind the nondeterministic
+	// functions (rand(), timestamp()): every execution derives its own
+	// RNG and logical clock from it, so instances never share mutable
+	// function state and runs are reproducible per seed. 0 ⇒ 1.
+	Seed int64
 }
 
 // Engine is one database instance: a store plus a dialect.
@@ -88,6 +94,10 @@ type Engine struct {
 	// rate-limits how often the hot loops poll it.
 	ctx        context.Context
 	cancelTick uint
+	// exec is the in-flight execution's rand()/timestamp() state; execSeq
+	// counts executions so each derives an independent stream.
+	exec    *functions.ExecState
+	execSeq int64
 }
 
 // New creates an engine with the given options. Each unset limit field
@@ -122,6 +132,11 @@ func (e *Engine) Store() *Store { return e.store }
 // Dialect returns the engine's dialect.
 func (e *Engine) Dialect() Dialect { return e.opts.Dialect }
 
+// SetSeed replaces the seed behind the nondeterministic functions (see
+// Options.Seed), for engines constructed before their seed is known —
+// e.g. per-shard instances built by a connector factory.
+func (e *Engine) SetSeed(seed int64) { e.opts.Seed = seed }
+
 // PlanTrace returns the access paths chosen for the most recent query.
 func (e *Engine) PlanTrace() []string { return e.planTrace }
 
@@ -149,9 +164,15 @@ func (e *Engine) ExecuteParamsCtx(ctx context.Context, query string, params map[
 	if err != nil {
 		return nil, err
 	}
+	seed := e.opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	e.execSeq++
 	e.params = params
 	e.ctx = ctx
-	defer func() { e.params = nil; e.ctx = nil }()
+	e.exec = functions.NewExecState(functions.DeriveSeed(seed, e.execSeq))
+	defer func() { e.params = nil; e.ctx = nil; e.exec = nil }()
 	return e.ExecuteAST(q)
 }
 
@@ -293,7 +314,7 @@ func (e *Engine) executeSingle(s *ast.SingleQuery) (*Result, error) {
 }
 
 func (e *Engine) evalCtx(r row) *eval.Ctx {
-	return &eval.Ctx{Graph: e.store.Graph(), Env: r, Params: e.params}
+	return &eval.Ctx{Graph: e.store.Graph(), Env: r, Params: e.params, Exec: e.exec}
 }
 
 // evalIn evaluates an expression in a row's environment.

@@ -15,16 +15,27 @@ import (
 )
 
 // Ctx carries everything an expression evaluation needs: the graph (for
-// property access and graph functions), the variable environment, and
-// query parameters.
+// property access and graph functions), the variable environment, query
+// parameters, and the execution-scoped state behind the nondeterministic
+// functions (rand(), timestamp()).
 type Ctx struct {
 	Graph  *graph.Graph
 	Env    map[string]value.Value
 	Params map[string]value.Value
+	// Exec is the per-execution rand()/timestamp() state. Nil selects the
+	// process-global fallback (race-free, not seed-reproducible).
+	Exec *functions.ExecState
 }
 
-// GraphCtx adapts a graph.Graph to the functions.GraphContext interface.
-type GraphCtx struct{ G *graph.Graph }
+// GraphCtx adapts a graph.Graph (plus optional execution state) to the
+// functions.GraphContext interface.
+type GraphCtx struct {
+	G    *graph.Graph
+	Exec *functions.ExecState
+}
+
+// ExecState implements functions.ExecStater.
+func (c GraphCtx) ExecState() *functions.ExecState { return c.Exec }
 
 // NodeLabels implements functions.GraphContext.
 func (c GraphCtx) NodeLabels(id int64) ([]string, bool) {
@@ -313,7 +324,7 @@ func evalPropAccess(ctx *Ctx, e *ast.PropAccess) (value.Value, error) {
 		}
 		return value.Null, nil
 	case value.KindNode, value.KindRel:
-		props, ok := GraphCtx{ctx.Graph}.EntityProps(s.EntityID(), s.Kind() == value.KindRel)
+		props, ok := GraphCtx{G: ctx.Graph}.EntityProps(s.EntityID(), s.Kind() == value.KindRel)
 		if !ok {
 			return value.Null, fmt.Errorf("unknown entity %d", s.EntityID())
 		}
@@ -454,7 +465,7 @@ func evalFuncCall(ctx *Ctx, e *ast.FuncCall) (value.Value, error) {
 		}
 		args[i] = v
 	}
-	return functions.Invoke(f, GraphCtx{ctx.Graph}, args)
+	return functions.Invoke(f, GraphCtx{G: ctx.Graph, Exec: ctx.Exec}, args)
 }
 
 func evalCase(ctx *Ctx, e *ast.CaseExpr) (value.Value, error) {

@@ -212,7 +212,7 @@ func TestGraphCtxMissingEntities(t *testing.T) {
 		t.Error("nil graph must report !ok")
 	}
 	g := graph.New()
-	c = GraphCtx{g}
+	c = GraphCtx{G: g}
 	if _, ok := c.NodeLabels(99); ok {
 		t.Error("missing node must report !ok")
 	}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchResult is the machine-readable outcome of the sharded-executor
+// throughput bench: the same fixed-seed campaign at 1 worker and at N
+// workers, plus the cross-check that both found the identical bug set
+// (the determinism contract, measured rather than assumed).
+type BenchResult struct {
+	Seed       int64 `json:"seed"`
+	Iterations int   `json:"iterations"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+
+	BaselineWorkers int     `json:"baseline_workers"`
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	BaselineIterSec float64 `json:"baseline_iterations_per_sec"`
+
+	ParallelWorkers int     `json:"parallel_workers"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	ParallelIterSec float64 `json:"parallel_iterations_per_sec"`
+
+	Speedup          float64 `json:"speedup"`
+	Findings         int     `json:"findings"`
+	IdenticalBugSets bool    `json:"identical_bug_sets"`
+}
+
+// RunThroughputBench runs the bench and renders a short human summary to
+// w. workers <= 0 selects GOMAXPROCS. Note the speedup is bounded by the
+// machine: on a single-core runner it hovers around 1.0 by construction.
+func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := DefaultCampaignConfig()
+	cfg.Seed = seed
+	cfg.Iterations = iterations
+	run := func(n int) (*Campaign, float64) {
+		c := cfg
+		c.Workers = n
+		start := time.Now()
+		out := RunGQSCampaign(c)
+		return out, time.Since(start).Seconds()
+	}
+	base, baseSec := run(1)
+	par, parSec := run(workers)
+
+	res := BenchResult{
+		Seed:             seed,
+		Iterations:       iterations,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		BaselineWorkers:  1,
+		BaselineSeconds:  baseSec,
+		ParallelWorkers:  workers,
+		ParallelSeconds:  parSec,
+		Findings:         len(par.Findings),
+		IdenticalBugSets: base.CanonicalBugReport() == par.CanonicalBugReport(),
+	}
+	// Per-GDB iterations: the campaign runs Iterations shards against
+	// each of the four sims, so rate totals use the meter's count.
+	if baseSec > 0 {
+		res.BaselineIterSec = float64(base.Throughput.Iterations) / baseSec
+	}
+	if parSec > 0 {
+		res.ParallelIterSec = float64(par.Throughput.Iterations) / parSec
+	}
+	if parSec > 0 {
+		res.Speedup = baseSec / parSec
+	}
+
+	fmt.Fprintf(w, "== Sharded-executor throughput (seed %d, %d iterations/GDB, GOMAXPROCS %d) ==\n",
+		seed, iterations, res.GOMAXPROCS)
+	fmt.Fprintf(w, "workers=1:  %6.2fs  %7.1f iterations/s\n", baseSec, res.BaselineIterSec)
+	fmt.Fprintf(w, "workers=%d:  %6.2fs  %7.1f iterations/s\n", workers, parSec, res.ParallelIterSec)
+	fmt.Fprintf(w, "speedup: %.2fx; identical bug sets: %v (%d findings)\n",
+		res.Speedup, res.IdenticalBugSets, res.Findings)
+	return res
+}
+
+// WriteJSON writes the bench result to path, pretty-printed.
+func (r BenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"gqs/internal/baselines"
 	"gqs/internal/core"
@@ -28,9 +29,16 @@ type Finding struct {
 	Query    string
 	Features *metrics.Features
 	Steps    int // synthesis steps (GQS findings only)
-	AtQuery  int // campaign query index of first detection
+	AtQuery  int // canonical campaign query index of first detection
 	Graph    *graph.Graph
 	Schema   *graph.Schema
+	// Shard is the logical shard (iteration) of first detection; 0 in
+	// the legacy sequential executor.
+	Shard int
+	// Latency is the wall-clock time from campaign start to the
+	// detection — the time-to-bug metric. Excluded from the canonical
+	// report: it depends on the hardware, not the seed.
+	Latency time.Duration
 }
 
 // Campaign is the outcome of one GQS testing campaign across the four
@@ -42,6 +50,12 @@ type Campaign struct {
 	// Robust sums what the resilience layer absorbed across all targets
 	// (timeouts, retries, restarts, breaker trips, downtime).
 	Robust core.RobustnessStats
+	// Workers is the worker-pool size the campaign ran with (0 = legacy
+	// sequential executor); Wall is its wall-clock time and Throughput
+	// the final meter reading (sharded campaigns only).
+	Workers    int
+	Wall       time.Duration
+	Throughput metrics.Throughput
 }
 
 // CampaignConfig bounds a GQS campaign.
@@ -59,6 +73,12 @@ type CampaignConfig struct {
 	FlakyRate float64
 	// Robust bounds the runner's resilience layer (zero ⇒ defaults).
 	Robust core.RobustnessConfig
+	// Workers selects the executor: 0 keeps the legacy sequential
+	// single-RNG-stream runner; >= 1 runs the sharded parallel executor
+	// (core.RunParallel), whose merged bug set is identical for every
+	// worker count at the same seed. Workers == 1 is the sharded
+	// executor on one worker, not the legacy runner.
+	Workers int
 }
 
 // DefaultCampaignConfig is sized so the full Table 3 campaign runs in
@@ -74,8 +94,12 @@ func DefaultCampaignConfig() CampaignConfig {
 
 // RunGQSCampaign runs GQS against every simulated GDB, deduplicating
 // findings by injected-fault identity (the ground truth the paper's
-// manual deduplication approximates).
+// manual deduplication approximates). With cfg.Workers >= 1 the campaign
+// runs on the sharded parallel executor (see parallel.go).
 func RunGQSCampaign(cfg CampaignConfig) *Campaign {
+	if cfg.Workers >= 1 {
+		return runShardedCampaign(cfg)
+	}
 	c := &Campaign{}
 	for _, sim := range gdb.All() {
 		c.runOn(sim, cfg)

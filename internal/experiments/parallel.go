@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gqs/internal/core"
+	"gqs/internal/faults"
+	"gqs/internal/gdb"
+	"gqs/internal/graph"
+	"gqs/internal/metrics"
+)
+
+// This file is the sharded campaign front-end: it fans the campaign's
+// iterations across core.RunParallel and then merges the per-shard
+// detections into a canonical, order-independent report.
+//
+// The merge is the half of the determinism contract that lives above the
+// executor. Shards complete in wall-clock order, which varies run to
+// run; the merge therefore never looks at completion order. Detections
+// are buffered per shard during the run and folded in ascending shard
+// order afterwards, deduplicating against a campaign-wide seen-set
+// exactly like the sequential path does. A finding's canonical AtQuery
+// index is its shard-local query index plus the query counts of every
+// earlier shard — the index it would have had in a purely sequential
+// replay of the shards — so `seed S, workers 1` and `seed S, workers N`
+// produce byte-identical CanonicalBugReport output.
+
+// shardEvent is one shard-local bug detection, buffered until the merge.
+type shardEvent struct {
+	bug     *faults.Bug
+	query   string
+	steps   int
+	atLocal int // 1-based query index within the shard
+	graph   *graph.Graph
+	schema  *graph.Schema
+	latency time.Duration
+}
+
+// shardLog is everything one shard reports: its test-case tallies and
+// its first-detection events, in shard-local execution order.
+type shardLog struct {
+	queries int
+	skips   int
+	events  []shardEvent
+}
+
+// runShardedCampaign is the Workers >= 1 executor behind RunGQSCampaign.
+func runShardedCampaign(cfg CampaignConfig) *Campaign {
+	meter := metrics.NewMeter()
+	c := &Campaign{Workers: cfg.Workers}
+	seen := map[string]bool{}
+	for _, sim := range gdb.All() {
+		runShardedOn(c, sim.Name(), cfg, seen, meter)
+	}
+	for range c.Findings {
+		meter.AddBug()
+	}
+	c.Throughput = meter.Snapshot()
+	c.Wall = c.Throughput.Elapsed
+	return c
+}
+
+// runShardedOn runs the sharded campaign against one GDB and merges the
+// shard logs into c in canonical order.
+func runShardedOn(c *Campaign, gdbName string, cfg CampaignConfig, seen map[string]bool, meter *metrics.Meter) {
+	n := cfg.Iterations
+	if n <= 0 {
+		return
+	}
+	pcfg := core.ParallelConfig{
+		Workers:    cfg.Workers,
+		Iterations: n,
+		Runner: core.RunnerConfig{
+			Seed:            cfg.Seed,
+			Graph:           cfg.Graph,
+			Synth:           cfg.Synth,
+			QueriesPerGraph: 6,
+			QueriesPerGT:    2,
+			Robust:          cfg.Robust,
+		},
+	}
+	connect := gdb.NewFactory(gdb.FactoryConfig{
+		GDB:       gdbName,
+		Live:      cfg.Live,
+		FlakyRate: cfg.FlakyRate,
+		Seed:      cfg.Seed,
+	})
+	factory := func(shard int) (core.Target, error) { return connect(shard) }
+
+	// Shard slots are disjoint and observer calls per shard are
+	// sequential, so the logs need no locking (see RunParallel's
+	// observer contract).
+	logs := make([]shardLog, n)
+	start := time.Now()
+	ps := core.RunParallel(pcfg, factory, func(shard int, target core.Target, tc *core.TestCase) {
+		log := &logs[shard]
+		log.queries++
+		meter.AddQuery()
+		switch tc.Verdict {
+		case core.VerdictSkip:
+			log.skips++
+			return
+		case core.VerdictPass:
+			return
+		}
+		tb, ok := target.(interface{ TriggeredBug() *faults.Bug })
+		if !ok {
+			return
+		}
+		b := tb.TriggeredBug()
+		if b == nil {
+			return
+		}
+		// Shard-local first-detection filter; the cross-shard (and
+		// cross-GDB) dedup happens at merge time against `seen`.
+		for _, ev := range log.events {
+			if ev.bug.ID == b.ID {
+				return
+			}
+		}
+		log.events = append(log.events, shardEvent{
+			bug:     b,
+			query:   tc.Query,
+			steps:   tc.Steps,
+			atLocal: log.queries,
+			graph:   tc.Graph,
+			schema:  tc.Schema,
+			latency: time.Since(start),
+		})
+	})
+	meter.AddIterations(n)
+	c.Robust.Add(ps.Robust)
+
+	// Canonical merge: ascending shard order, AtQuery = campaign queries
+	// so far + earlier shards' query counts + the shard-local index.
+	base := c.Queries
+	for shard := 0; shard < n; shard++ {
+		log := logs[shard]
+		for _, ev := range log.events {
+			if seen[ev.bug.ID] {
+				continue
+			}
+			seen[ev.bug.ID] = true
+			c.Findings = append(c.Findings, &Finding{
+				Bug:      ev.bug,
+				GDB:      gdbName,
+				Query:    ev.query,
+				Features: metrics.Analyze(ev.query),
+				Steps:    ev.steps,
+				AtQuery:  base + ev.atLocal,
+				Graph:    ev.graph,
+				Schema:   ev.schema,
+				Shard:    shard,
+				Latency:  ev.latency,
+			})
+		}
+		base += log.queries
+		c.Skips += log.skips
+	}
+	c.Queries = base
+}
+
+// CanonicalBugReport renders the campaign's merged outcome with every
+// hardware-dependent field (wall time, latency, throughput) stripped:
+// two campaigns at the same seed must produce byte-identical reports
+// regardless of worker count. The determinism tests and the bench's
+// identical_bug_sets check compare exactly this string.
+func (c *Campaign) CanonicalBugReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queries=%d skips=%d findings=%d\n", c.Queries, c.Skips, len(c.Findings))
+	for _, f := range c.Findings {
+		fmt.Fprintf(&b, "%s %s kind=%v manifest=%v shard=%d at=%d steps=%d query=%s\n",
+			f.GDB, f.Bug.ID, f.Bug.Kind, f.Bug.Manifest, f.Shard, f.AtQuery, f.Steps, f.Query)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gqs/internal/core"
+	"gqs/internal/graph"
+)
+
+func shardedTestConfig(workers int) CampaignConfig {
+	cfg := DefaultCampaignConfig()
+	cfg.Iterations = 8
+	cfg.Graph = graph.GenConfig{MaxNodes: 8, MaxRels: 20}
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestShardedCampaignDeterministicAcrossWorkers is the determinism
+// contract: same seed, different worker counts, byte-identical merged
+// bug reports.
+func TestShardedCampaignDeterministicAcrossWorkers(t *testing.T) {
+	one := RunGQSCampaign(shardedTestConfig(1))
+	four := RunGQSCampaign(shardedTestConfig(4))
+	a, b := one.CanonicalBugReport(), four.CanonicalBugReport()
+	if a != b {
+		t.Fatalf("canonical reports differ across worker counts:\n--- workers=1 ---\n%s--- workers=4 ---\n%s", a, b)
+	}
+	if len(one.Findings) == 0 {
+		t.Fatal("campaign found no bugs; the determinism check is vacuous")
+	}
+	if one.Queries != four.Queries || one.Skips != four.Skips {
+		t.Fatalf("tallies differ: %d/%d queries, %d/%d skips",
+			one.Queries, four.Queries, one.Skips, four.Skips)
+	}
+	if four.Workers != 4 || four.Throughput.Iterations == 0 {
+		t.Errorf("sharded campaign must record workers and throughput, got %d workers, %+v",
+			four.Workers, four.Throughput)
+	}
+}
+
+// TestShardedCampaignReportShape spot-checks the canonical report: the
+// hardware-independent fields are present, wall-clock ones are not.
+func TestShardedCampaignReportShape(t *testing.T) {
+	c := RunGQSCampaign(shardedTestConfig(2))
+	rep := c.CanonicalBugReport()
+	if !strings.HasPrefix(rep, "queries=") {
+		t.Fatalf("report must open with the tallies, got %q", rep[:min(len(rep), 40)])
+	}
+	if strings.Contains(rep, "latency") || strings.Contains(rep, "wall") {
+		t.Fatal("canonical report must not contain wall-clock fields")
+	}
+	for _, f := range c.Findings {
+		if f.Shard < 0 || f.Shard >= shardedTestConfig(2).Iterations {
+			t.Errorf("finding %s has out-of-range shard %d", f.Bug.ID, f.Shard)
+		}
+		if f.AtQuery <= 0 || f.AtQuery > c.Queries {
+			t.Errorf("finding %s has non-canonical AtQuery %d (campaign ran %d)", f.Bug.ID, f.AtQuery, c.Queries)
+		}
+		if f.Latency <= 0 {
+			t.Errorf("finding %s missing time-to-bug latency", f.Bug.ID)
+		}
+	}
+}
+
+// TestShardedCampaignLiveFlaky drives the sharded executor through the
+// live-fault and flaky-connector machinery on several workers; under
+// -race this is the concurrent-shards soak test.
+func TestShardedCampaignLiveFlaky(t *testing.T) {
+	cfg := shardedTestConfig(4)
+	cfg.Iterations = 6
+	cfg.Live = true
+	cfg.FlakyRate = 0.15
+	// Live hangs block until the watchdog fires; a tight deadline keeps
+	// the soak fast without changing what it exercises.
+	cfg.Robust = core.RobustnessConfig{Timeout: 40 * time.Millisecond, Grace: 50 * time.Millisecond}
+	c := RunGQSCampaign(cfg)
+	if c.Queries == 0 {
+		t.Fatal("live sharded campaign executed no queries")
+	}
+}

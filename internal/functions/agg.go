@@ -218,6 +218,10 @@ type percentileAgg struct {
 	p    value.Value
 	cont bool
 	vs   []float64
+	// orig keeps the original elements for percentileDisc, which returns
+	// one of its inputs unchanged — an integer input must yield an
+	// integer, as Neo4j's percentileDisc does.
+	orig []value.Value
 }
 
 func (a *percentileAgg) Add(v value.Value) error {
@@ -226,6 +230,9 @@ func (a *percentileAgg) Add(v value.Value) error {
 		return nil
 	case value.KindInt, value.KindFloat:
 		a.vs = append(a.vs, v.AsFloat())
+		if !a.cont {
+			a.orig = append(a.orig, v)
+		}
 		return nil
 	}
 	return argErr("percentile", "expected a number, got %s", v.Kind())
@@ -253,13 +260,15 @@ func (a *percentileAgg) Result() value.Value {
 		frac := pos - float64(lo)
 		return value.Float(a.vs[lo]*(1-frac) + a.vs[hi]*frac)
 	}
-	idx := int(math.Ceil(p*float64(len(a.vs)))) - 1
+	// Discrete percentile returns the selected element itself, type
+	// intact (a stable sort keeps numerically-equal ints and floats in
+	// arrival order, so the pick is deterministic).
+	sort.SliceStable(a.orig, func(i, j int) bool {
+		return a.orig[i].AsFloat() < a.orig[j].AsFloat()
+	})
+	idx := int(math.Ceil(p*float64(len(a.orig)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	v := a.vs[idx]
-	if v == math.Trunc(v) {
-		return value.Float(v)
-	}
-	return value.Float(v)
+	return a.orig[idx]
 }

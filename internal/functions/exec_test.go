@@ -1,0 +1,161 @@
+package functions
+
+import (
+	"sync"
+	"testing"
+
+	"gqs/internal/value"
+)
+
+// execCtx is a GraphContext stub carrying only an ExecState; the
+// graph-dependent methods are never reached by rand()/timestamp().
+type execCtx struct {
+	GraphContext
+	st *ExecState
+}
+
+func (c execCtx) ExecState() *ExecState { return c.st }
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(7, 3) != DeriveSeed(7, 3) {
+		t.Fatal("DeriveSeed must be a pure function")
+	}
+	seen := map[int64]bool{}
+	for stream := int64(0); stream < 100; stream++ {
+		s := DeriveSeed(42, stream)
+		if seen[s] {
+			t.Fatalf("stream %d collides with an earlier stream", stream)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("different campaign seeds must derive different streams")
+	}
+	// seed 0, stream 0 must not degenerate to the zero state.
+	if DeriveSeed(0, 0) == 0 {
+		t.Fatal("DeriveSeed(0, 0) must mix to a nonzero seed")
+	}
+}
+
+func TestExecStateReproducible(t *testing.T) {
+	a, b := NewExecState(99), NewExecState(99)
+	for i := 0; i < 10; i++ {
+		if a.Rand() != b.Rand() {
+			t.Fatal("same seed must replay the same rand() stream")
+		}
+		if a.Timestamp() != b.Timestamp() {
+			t.Fatal("same seed must replay the same timestamp() stream")
+		}
+	}
+	c := NewExecState(100)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Rand() != c.Rand() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds must diverge")
+	}
+}
+
+func TestExecStateTimestampMonotonic(t *testing.T) {
+	s := NewExecState(5)
+	prev := s.Timestamp()
+	for i := 0; i < 100; i++ {
+		ts := s.Timestamp()
+		if ts <= prev {
+			t.Fatalf("timestamp() must advance: %d then %d", prev, ts)
+		}
+		prev = ts
+	}
+}
+
+// TestExecStateNilFallbackConcurrent hammers the nil-receiver fallback
+// from many goroutines; under -race this is the regression test for the
+// unsynchronized package-global counter the fallback replaced.
+func TestExecStateNilFallbackConcurrent(t *testing.T) {
+	var nilState *ExecState
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[int64]bool{}
+	dup := false
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = nilState.Rand()
+				ts := nilState.Timestamp()
+				mu.Lock()
+				if seen[ts] {
+					dup = true
+				}
+				seen[ts] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if dup {
+		t.Fatal("fallback timestamps must be unique across goroutines")
+	}
+}
+
+// TestRandTimestampUseExecState ties the scalar functions to the
+// execution-scoped state: same seed, same values; no seed, no crash.
+func TestRandTimestampUseExecState(t *testing.T) {
+	call := func(name string, ctx GraphContext) value.Value {
+		t.Helper()
+		v, err := Invoke(Lookup(name), ctx, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return v
+	}
+	a := call("rand", execCtx{st: NewExecState(7)})
+	b := call("rand", execCtx{st: NewExecState(7)})
+	if a.AsFloat() != b.AsFloat() {
+		t.Fatal("rand() must replay per execution seed")
+	}
+	t1 := call("timestamp", execCtx{st: NewExecState(7)})
+	t2 := call("timestamp", execCtx{st: NewExecState(7)})
+	if t1.AsInt() != t2.AsInt() {
+		t.Fatal("timestamp() must replay per execution seed")
+	}
+	// A context without ExecState (and a nil context) falls back safely.
+	if v := call("rand", execCtx{}); v.AsFloat() < 0 || v.AsFloat() >= 1 {
+		t.Fatal("fallback rand() out of range")
+	}
+	if v := call("timestamp", nil); v.AsInt() <= 0 {
+		t.Fatal("fallback timestamp() must be positive")
+	}
+}
+
+func TestPercentileDiscPreservesType(t *testing.T) {
+	feed := func(p float64, vs ...value.Value) value.Value {
+		t.Helper()
+		spec := LookupAgg("percentileDisc")
+		a := spec.New(value.Float(p))
+		for _, v := range vs {
+			if err := a.Add(v); err != nil {
+				t.Fatalf("percentileDisc: %v", err)
+			}
+		}
+		return a.Result()
+	}
+	// Neo4j returns the original element, so integer inputs stay Int.
+	if v := feed(0.5, value.Int(1), value.Int(2), value.Int(3)); v.Kind() != value.KindInt || v.AsInt() != 2 {
+		t.Errorf("percentileDisc over ints = %v (%v), want Int 2", v, v.Kind())
+	}
+	if v := feed(0.5, value.Float(1.5), value.Float(2.5)); v.Kind() != value.KindFloat || v.AsFloat() != 1.5 {
+		t.Errorf("percentileDisc over floats = %v (%v), want Float 1.5", v, v.Kind())
+	}
+	// Mixed input returns whichever original element sits at the rank.
+	if v := feed(1.0, value.Int(1), value.Float(2.5)); v.Kind() != value.KindFloat || v.AsFloat() != 2.5 {
+		t.Errorf("percentileDisc mixed = %v (%v), want Float 2.5", v, v.Kind())
+	}
+	if v := feed(0.0, value.Int(3), value.Int(1), value.Int(2)); v.Kind() != value.KindInt || v.AsInt() != 1 {
+		t.Errorf("percentileDisc p=0 = %v (%v), want Int 1", v, v.Kind())
+	}
+}

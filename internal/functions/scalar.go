@@ -2,7 +2,6 @@ package functions
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
@@ -105,16 +104,20 @@ func registerMath() {
 	})
 	register(&Func{
 		Name: "rand", Return: TFloat, Nondeterministic: true,
-		Call: func(_ GraphContext, _ []value.Value) (value.Value, error) {
-			return value.Float(rand.Float64()), nil
+		Call: func(ctx GraphContext, _ []value.Value) (value.Value, error) {
+			// Draws from the execution-scoped RNG when the context carries
+			// one (see ExecState); the global fallback is race-free but
+			// not reproducible per seed.
+			return value.Float(execOf(ctx).Rand()), nil
 		},
 	})
 	register(&Func{
 		Name: "timestamp", Return: TInt, Nondeterministic: true,
-		Call: func(_ GraphContext, _ []value.Value) (value.Value, error) {
-			// A logical clock rather than wall time keeps runs reproducible.
-			timestampCounter++
-			return value.Int(timestampCounter), nil
+		Call: func(ctx GraphContext, _ []value.Value) (value.Value, error) {
+			// A logical clock rather than wall time keeps runs
+			// reproducible; execution-scoped when the context carries an
+			// ExecState, an atomic global otherwise.
+			return value.Int(execOf(ctx).Timestamp()), nil
 		},
 	})
 	register(num1("degrees", func(f float64) float64 { return f * 180 / math.Pi }))
@@ -199,8 +202,6 @@ func registerMath() {
 		},
 	})
 }
-
-var timestampCounter int64
 
 func str1(name string, f func(string) string) *Func {
 	return &Func{

@@ -1,0 +1,48 @@
+package gdb
+
+import (
+	"gqs/internal/functions"
+)
+
+// FactoryConfig configures NewFactory.
+type FactoryConfig struct {
+	// GDB is the simulated system to build ("neo4j", "memgraph", "kuzu",
+	// "falkordb", "reference").
+	GDB string
+	// Live makes injected faults manifest for real in every instance
+	// (hangs block, crashes panic); see Sim.SetLiveFaults.
+	Live bool
+	// FlakyRate wraps every instance in a transient-fault injector
+	// dropping this fraction of calls (0 disables).
+	FlakyRate float64
+	// Seed is the campaign seed; each shard's flaky injector derives its
+	// own stream from (Seed, shard), so the injected-failure sequence of
+	// shard i is the same no matter how many workers run the campaign.
+	Seed int64
+}
+
+// NewFactory returns a connector factory for parallel campaign shards.
+// Every call builds a fresh simulacrum — its own engine, store, and
+// fault catalog — so no mutable state is ever shared across the
+// goroutines of a worker pool; the optional Flaky wrapper is seeded per
+// shard for worker-count-independent determinism.
+func NewFactory(cfg FactoryConfig) func(shard int) (Connector, error) {
+	return func(shard int) (Connector, error) {
+		sim, err := ByName(cfg.GDB)
+		if err != nil {
+			return nil, err
+		}
+		sim.SetLiveFaults(cfg.Live)
+		// Per-shard engine seed keeps rand()/timestamp() streams
+		// independent across shards and reproducible per campaign seed.
+		sim.Engine().SetSeed(functions.DeriveSeed(cfg.Seed, int64(shard)))
+		if cfg.FlakyRate <= 0 {
+			return sim, nil
+		}
+		return NewFlaky(sim, FlakyConfig{
+			Seed:           functions.DeriveSeed(cfg.Seed+0x5eed, int64(shard)),
+			ErrorRate:      cfg.FlakyRate,
+			ResetErrorRate: cfg.FlakyRate / 2,
+		}), nil
+	}
+}

@@ -1,0 +1,64 @@
+package gdb
+
+import (
+	"testing"
+)
+
+func TestFactoryBuildsIsolatedInstances(t *testing.T) {
+	connect := NewFactory(FactoryConfig{GDB: "neo4j", Seed: 5})
+	a, err := connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("factory must build a fresh instance per call")
+	}
+	sa, sb := a.(*Sim), b.(*Sim)
+	if sa.Engine() == sb.Engine() {
+		t.Fatal("instances must not share an engine")
+	}
+}
+
+func TestFactorySeedsEnginePerShard(t *testing.T) {
+	connect := NewFactory(FactoryConfig{GDB: "reference", Seed: 5})
+	randOf := func(shard int) float64 {
+		t.Helper()
+		c, err := connect(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Execute("RETURN rand() AS r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0][0].AsFloat()
+	}
+	if randOf(0) != randOf(0) {
+		t.Fatal("same shard must replay the same rand() stream")
+	}
+	if randOf(0) == randOf(1) {
+		t.Fatal("different shards must get different rand() streams")
+	}
+}
+
+func TestFactoryFlakyWrapper(t *testing.T) {
+	connect := NewFactory(FactoryConfig{GDB: "memgraph", Seed: 9, FlakyRate: 0.5})
+	c, err := connect(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.(*Flaky); !ok {
+		t.Fatalf("FlakyRate > 0 must wrap the sim, got %T", c)
+	}
+}
+
+func TestFactoryUnknownGDB(t *testing.T) {
+	connect := NewFactory(FactoryConfig{GDB: "orientdb"})
+	if _, err := connect(0); err == nil {
+		t.Fatal("unknown GDB must error")
+	}
+}

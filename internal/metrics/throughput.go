@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Meter is a goroutine-safe throughput meter for parallel campaigns: the
+// worker pool's shards bump its atomic counters and anyone (a progress
+// printer, the final summary) can take a consistent-enough Snapshot at
+// any time without stopping the pool.
+type Meter struct {
+	start      time.Time
+	iterations atomic.Int64
+	queries    atomic.Int64
+	bugs       atomic.Int64
+}
+
+// NewMeter starts a meter; rates are measured from this instant.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// AddIterations records completed workflow iterations.
+func (m *Meter) AddIterations(n int) { m.iterations.Add(int64(n)) }
+
+// AddQuery records one executed test case.
+func (m *Meter) AddQuery() { m.queries.Add(1) }
+
+// AddBug records one distinct-bug detection.
+func (m *Meter) AddBug() { m.bugs.Add(1) }
+
+// Throughput is a point-in-time reading of a Meter.
+type Throughput struct {
+	Iterations int64
+	Queries    int64
+	Bugs       int64
+	Elapsed    time.Duration
+}
+
+// Snapshot reads the counters.
+func (m *Meter) Snapshot() Throughput {
+	return Throughput{
+		Iterations: m.iterations.Load(),
+		Queries:    m.queries.Load(),
+		Bugs:       m.bugs.Load(),
+		Elapsed:    time.Since(m.start),
+	}
+}
+
+// IterationsPerSec is the wall-clock iteration rate.
+func (t Throughput) IterationsPerSec() float64 { return rate(t.Iterations, t.Elapsed) }
+
+// QueriesPerSec is the wall-clock query rate.
+func (t Throughput) QueriesPerSec() float64 { return rate(t.Queries, t.Elapsed) }
+
+func rate(n int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// String renders the throughput summary line campaigns print.
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.1f iterations/s, %.1f queries/s (%d iterations, %d queries, %d bugs in %.1fs)",
+		t.IterationsPerSec(), t.QueriesPerSec(), t.Iterations, t.Queries, t.Bugs, t.Elapsed.Seconds())
+}
+
+// LatencySummary summarizes per-shard bug latencies (time from shard
+// start to each distinct detection): min, mean, and max.
+func LatencySummary(ds []time.Duration) (min, mean, max time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0, 0
+	}
+	min, max = ds[0], ds[0]
+	var sum time.Duration
+	for _, d := range ds {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	return min, sum / time.Duration(len(ds)), max
+}
