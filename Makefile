@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-go verify smoke
+.PHONY: build test vet race bench bench-regress bench-go verify smoke
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,17 @@ race:
 	$(GO) test -race ./...
 
 # Sharded-executor throughput bench: the same fixed-seed campaign at 1
-# worker and at GOMAXPROCS workers; writes BENCH_pr2.json and fails if
-# the two runs report different bug sets.
+# worker and at GOMAXPROCS workers, plus the prepared-vs-text parse-share
+# micro-comparison; writes BENCH_pr4.json and fails if the two campaign
+# runs report different bug sets.
 bench:
-	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr2.json
+	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr4.json
+
+# Regression gate: compares BENCH_pr4.json against every other
+# BENCH_*.json and fails on >10% parallel-throughput regression or a
+# like-for-like bug-set mismatch.
+bench-regress:
+	$(GO) run ./cmd/gqs-bench -exp bench-regress -bench-out BENCH_pr4.json
 
 # Go micro-benchmarks (the pre-existing bench target).
 bench-go:

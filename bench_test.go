@@ -9,12 +9,14 @@ package gqs
 // The full-size regenerations live behind `go run ./cmd/gqs-bench`.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
 
 	"gqs/internal/baselines"
 	"gqs/internal/core"
+	"gqs/internal/cypher/parser"
 	"gqs/internal/engine"
 	"gqs/internal/experiments"
 	"gqs/internal/gdb"
@@ -96,6 +98,7 @@ func BenchmarkTable3CampaignIteration(b *testing.B) {
 	cfg := core.DefaultRunnerConfig()
 	cfg.Graph = graph.GenConfig{MaxNodes: 10, MaxRels: 40}
 	rn := core.NewRunner(sim, cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := rn.RunIteration(nil); err != nil {
@@ -327,6 +330,101 @@ func BenchmarkAblationGraphSize(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---- prepared-execution benchmarks (DESIGN.md §8) ----
+
+// benchCorpusQuery synthesizes one representative campaign query over a
+// generated graph, retrying until synthesis succeeds.
+func benchCorpusQuery(b *testing.B, seed int64) (*graph.Graph, *graph.Schema, string) {
+	b.Helper()
+	r := rand.New(rand.NewSource(seed))
+	g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 12, MaxRels: 40})
+	syn := core.NewSynthesizer(r, g, schema, core.DefaultConfig())
+	for tries := 0; tries < 200; tries++ {
+		gt := core.SelectGroundTruth(r, g, 6)
+		if sq, err := syn.Synthesize(gt); err == nil {
+			return g, schema, sq.Text
+		}
+	}
+	b.Fatal("synthesis never succeeded")
+	return nil, nil, ""
+}
+
+// BenchmarkPrepare measures the one-time cost Prepare pays per
+// synthesized query: parse plus feature analysis.
+func BenchmarkPrepare(b *testing.B) {
+	_, _, q := benchCorpusQuery(b, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Prepare(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOracleCheck compares one oracle check — a synthesized query
+// validated on all five dialects — through the text path (every dialect
+// re-parses and re-analyzes the query) and the prepared path (one parse,
+// shared AST). The parses/check metric is the measured parser-invocation
+// count per iteration: the text path pays 2 per dialect (feature
+// analysis + engine parse) for 10 in total, the prepared path exactly 1.
+func BenchmarkOracleCheck(b *testing.B) {
+	g, schema, q := benchCorpusQuery(b, 9)
+	conns := append(gdb.All(), gdb.NewReference())
+	for _, c := range conns {
+		if err := c.Reset(g, schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	b.Run("text", func(b *testing.B) {
+		b.ReportAllocs()
+		start := parser.Parses()
+		for i := 0; i < b.N; i++ {
+			for _, c := range conns {
+				c.ExecuteCtx(ctx, q)
+			}
+		}
+		b.ReportMetric(float64(parser.Parses()-start)/float64(b.N), "parses/check")
+	})
+	b.Run("prepared", func(b *testing.B) {
+		b.ReportAllocs()
+		start := parser.Parses()
+		for i := 0; i < b.N; i++ {
+			pq, err := Prepare(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, c := range conns {
+				c.ExecutePrepared(ctx, pq)
+			}
+		}
+		b.ReportMetric(float64(parser.Parses()-start)/float64(b.N), "parses/check")
+	})
+}
+
+// BenchmarkMatchExpansion measures the row pipeline on a two-hop
+// unlabeled pattern — the binding-expansion path whose row clones and
+// eval contexts dominate hot-path allocations.
+func BenchmarkMatchExpansion(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 12, MaxRels: 120})
+	eng := engine.New(engine.Options{})
+	eng.LoadGraph(g, schema)
+	pq, err := engine.Prepare(`MATCH (a)-[r1]->(b)-[r2]->(c) WHERE a.id <> c.id RETURN a.id, c.id`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ExecutePrepared(ctx, pq); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

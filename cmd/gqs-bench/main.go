@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gqs/internal/experiments"
@@ -19,13 +20,13 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table2, table3, table4, table5, table6, fig10..fig15, fig18, replay, falsealarms, ablation, bench, or all")
+		exp        = flag.String("exp", "all", "experiment: table2, table3, table4, table5, table6, fig10..fig15, fig18, replay, falsealarms, ablation, bench, bench-regress, or all")
 		seed       = flag.Int64("seed", 1, "random seed")
 		iterations = flag.Int("iterations", 60, "GQS campaign iterations per GDB (table3/fig10-15, bench)")
 		n          = flag.Int("n", 2000, "queries per tester for table5 (paper: 10000)")
 		rounds     = flag.Int("rounds", 400, "oracle rounds per tester per GDB for table6/fig18")
 		workers    = flag.Int("workers", 0, "worker-pool size for -exp bench (0 = GOMAXPROCS)")
-		benchOut   = flag.String("bench-out", "", "write the -exp bench result to this JSON file")
+		benchOut   = flag.String("bench-out", "", "write the -exp bench result to this JSON file; for -exp bench-regress, the current result to gate (default BENCH_pr4.json)")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -122,6 +123,31 @@ func main() {
 		}
 		if !res.IdenticalBugSets {
 			fmt.Fprintln(os.Stderr, "gqs-bench: bug sets differ across worker counts — determinism contract broken")
+			os.Exit(1)
+		}
+		ran = true
+	}
+	// bench-regress gates the recorded result against every other
+	// BENCH_*.json in the working directory (>10% parallel-throughput
+	// regression or a like-for-like bug-set mismatch fails the build).
+	if *exp == "bench-regress" {
+		cur := *benchOut
+		if cur == "" {
+			cur = "BENCH_pr4.json"
+		}
+		all, err := filepath.Glob("BENCH_*.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gqs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		var prev []string
+		for _, p := range all {
+			if p != cur {
+				prev = append(prev, p)
+			}
+		}
+		if err := experiments.BenchRegress(w, cur, prev); err != nil {
+			fmt.Fprintf(os.Stderr, "gqs-bench: %v\n", err)
 			os.Exit(1)
 		}
 		ran = true

@@ -21,6 +21,7 @@
 package gqs
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -61,6 +62,30 @@ func (db *DB) MustExecute(query string) *Result {
 
 // Result is a query result: named columns and rows of Cypher values.
 type Result = engine.Result
+
+// PreparedQuery is a query parsed and analyzed exactly once, executable
+// any number of times — concurrently, on any number of databases or
+// targets — without re-parsing. Its AST and feature analysis are
+// immutable after Prepare; all per-execution state lives in the executor.
+type PreparedQuery = engine.PreparedQuery
+
+// Prepare parses and analyzes a query once for repeated execution; see
+// DB.ExecutePrepared and PreparedTarget.
+func Prepare(text string) (*PreparedQuery, error) { return engine.Prepare(text) }
+
+// ExecutePrepared runs a prepared query, sharing its AST with any other
+// in-flight executions of the same PreparedQuery on other databases.
+func (db *DB) ExecutePrepared(pq *PreparedQuery) (*Result, error) {
+	return db.eng.ExecutePrepared(context.Background(), pq)
+}
+
+// PreparedTarget is the optional prepared-execution extension of Target:
+// connectors that implement it are handed each synthesized query parsed
+// and analyzed once (one parse per oracle check instead of one per call),
+// with transient-error retries reusing the same PreparedQuery. The
+// bundled simulated GDBs implement it; text-only targets keep working
+// unchanged.
+type PreparedTarget = core.PreparedTarget
 
 // Value is a Cypher runtime value.
 type Value = value.Value

@@ -219,9 +219,31 @@ var nestTemplates = []exprTemplate{
 }
 
 // evalConst evaluates an expression after substituting the single free
-// variable with a concrete value.
+// variable with a concrete value. The context and environment are scratch
+// state reused across calls: evaluation results never alias either (they
+// can only alias the substituted value v, which the caller owns).
 func (s *Synthesizer) evalConst(e ast.Expr, varName string, v value.Value) (value.Value, error) {
-	return eval.Eval(&eval.Ctx{Graph: s.g, Env: map[string]value.Value{varName: v}}, e)
+	if s.constEnv == nil {
+		s.constEnv = make(map[string]value.Value, 1)
+	}
+	clear(s.constEnv)
+	s.constEnv[varName] = v
+	s.constCtx.Graph = s.g
+	s.constCtx.Env = s.constEnv
+	return eval.Eval(&s.constCtx, e)
+}
+
+// wrapAccess is wrapAccessValue over a reusable scratch map: Algorithm 2
+// wraps a value per competitor per round, and the wrapper map is only read
+// during the evalConst call that immediately follows, so one map serves
+// every wrap.
+func (s *Synthesizer) wrapAccess(prop string, v value.Value) value.Value {
+	if s.constWrap == nil {
+		s.constWrap = make(map[string]value.Value, 1)
+	}
+	clear(s.constWrap)
+	s.constWrap[prop] = v
+	return value.Map(s.constWrap)
 }
 
 // complexifyAccess implements Algorithm 2: starting from the property
@@ -248,13 +270,13 @@ func (s *Synthesizer) complexifyAccess(varName, prop string, intended value.Valu
 		}
 		t := candidates[s.r.Intn(len(candidates))]
 		newExp := t.build(s.r, exp)
-		nv1, err := s.evalConst(newExp, varName, wrapAccessValue(varName, prop, intended))
+		nv1, err := s.evalConst(newExp, varName, s.wrapAccess(prop, intended))
 		if err != nil {
 			continue
 		}
 		distinct := true
 		for _, c := range competitors {
-			nc, err := s.evalConst(newExp, varName, wrapAccessValue(varName, prop, c))
+			nc, err := s.evalConst(newExp, varName, s.wrapAccess(prop, c))
 			if err != nil || value.Equivalent(nc, nv1) {
 				distinct = false
 				break

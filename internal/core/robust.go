@@ -163,14 +163,24 @@ type execOutcome struct {
 	wedged   bool // the connector ignored cancellation past the grace window
 }
 
+// exec dispatches one call: the prepared path when both the target and
+// the caller have a PreparedQuery, the text path otherwise.
+func (rn *Runner) exec(ctx context.Context, query string, pq *engine.PreparedQuery) (*engine.Result, error) {
+	if pq != nil && rn.prepared != nil {
+		return rn.prepared.ExecutePrepared(ctx, pq)
+	}
+	return rn.target.ExecuteCtx(ctx, query)
+}
+
 // executeGuarded runs one query through the watchdog: a per-query
 // deadline, cooperative cancellation, and panic isolation. The query
 // runs in its own goroutine; if it ignores cancellation for longer than
 // the grace window it is abandoned (the goroutine leaks, as any harness
 // abandoning a wedged driver call must) and the target is restarted.
-func (rn *Runner) executeGuarded(query string) execOutcome {
+// pq, when non-nil, routes the call through the prepared path.
+func (rn *Runner) executeGuarded(query string, pq *engine.PreparedQuery) execOutcome {
 	if rn.rb.Timeout < 0 {
-		return rn.executeInline(query)
+		return rn.executeInline(query, pq)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), rn.rb.Timeout)
 	defer cancel()
@@ -181,7 +191,7 @@ func (rn *Runner) executeGuarded(query string) execOutcome {
 				ch <- execOutcome{err: &PanicError{Val: p}, panicked: true}
 			}
 		}()
-		res, err := rn.target.ExecuteCtx(ctx, query)
+		res, err := rn.exec(ctx, query, pq)
 		ch <- execOutcome{res: res, err: err}
 	}()
 	var o execOutcome
@@ -212,12 +222,16 @@ func (rn *Runner) executeGuarded(query string) execOutcome {
 
 // executeInline runs the query without a watchdog (Timeout < 0), keeping
 // only panic isolation.
-func (rn *Runner) executeInline(query string) (o execOutcome) {
+func (rn *Runner) executeInline(query string, pq *engine.PreparedQuery) (o execOutcome) {
 	defer func() {
 		if p := recover(); p != nil {
 			o = execOutcome{err: &PanicError{Val: p}, panicked: true}
 		}
 	}()
+	if pq != nil && rn.prepared != nil {
+		res, err := rn.prepared.ExecutePrepared(context.Background(), pq)
+		return execOutcome{res: res, err: err}
+	}
 	res, err := rn.target.Execute(query)
 	return execOutcome{res: res, err: err}
 }

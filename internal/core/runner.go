@@ -8,6 +8,7 @@ import (
 
 	"gqs/internal/engine"
 	"gqs/internal/graph"
+	"gqs/internal/metrics"
 )
 
 // Target is the slice of the GDB-connector interface the runner needs
@@ -25,6 +26,17 @@ type Target interface {
 	ExecuteCtx(ctx context.Context, query string) (*engine.Result, error)
 	RelUniqueness() bool
 	ProvidesDBLabels() bool
+}
+
+// PreparedTarget is the optional prepared-execution extension of Target
+// (the gdb connectors implement it). When a target supports it, the
+// runner parses and analyzes each synthesized query exactly once and
+// hands every execution — including transient-error retries — the same
+// immutable PreparedQuery, instead of paying a parse per call. Targets
+// without it (e.g. the differential baselines) keep the text path.
+type PreparedTarget interface {
+	Target
+	ExecutePrepared(ctx context.Context, pq *engine.PreparedQuery) (*engine.Result, error)
 }
 
 // Verdict classifies one executed test case.
@@ -62,6 +74,11 @@ type TestCase struct {
 	Err      error
 	Verdict  Verdict
 	Elapsed  time.Duration
+	// Features is the query's precomputed feature vector when the target
+	// took the prepared path (nil on the text path). Observers needing
+	// features should use it before falling back to metrics.Analyze, so
+	// the analysis runs once per query instead of once per consumer.
+	Features *metrics.Features
 	// Graph and Schema are the generated database the query ran against;
 	// the oracle-replay experiments (§5.4.3) re-execute the query on the
 	// same graph through other testers' oracles.
@@ -115,9 +132,12 @@ type Stats struct {
 type Runner struct {
 	cfg    RunnerConfig
 	target Target
-	r      *rand.Rand
-	seq    int
-	stats  Stats
+	// prepared is target's prepared-execution extension, nil when the
+	// target only speaks text.
+	prepared PreparedTarget
+	r        *rand.Rand
+	seq      int
+	stats    Stats
 
 	// Resilience state. jr is a dedicated jitter RNG so backoff draws
 	// never perturb the graph/synthesis stream — same seed, same
@@ -140,13 +160,15 @@ func NewRunner(target Target, cfg RunnerConfig) *Runner {
 	if cfg.QueriesPerGT <= 0 {
 		cfg.QueriesPerGT = 1
 	}
-	return &Runner{
+	rn := &Runner{
 		cfg:    cfg,
 		target: target,
 		r:      rand.New(rand.NewSource(cfg.Seed)),
 		rb:     cfg.Robust.withDefaults(),
 		jr:     rand.New(rand.NewSource(cfg.Seed ^ 0x6a77_3b2c_9d1e_5f48)),
 	}
+	rn.prepared, _ = target.(PreparedTarget)
+	return rn
 }
 
 // Breaker reports the circuit-breaker state: whether it is open and the
@@ -248,12 +270,26 @@ func (rn *Runner) runOne(syn *Synthesizer, gt *GroundTruth) *TestCase {
 	tc.Steps = sq.Steps
 	tc.Expected = sq.Expected
 
+	// Prepare once: one parse, one feature analysis, shared by every
+	// attempt below and every downstream consumer (fault triggers on the
+	// target, feature aggregation in the observers). Text-only targets
+	// skip this and re-parse per call as before. Synthesized queries
+	// always parse (they are printed from an AST); if one ever does not,
+	// the text path surfaces the identical parser error.
+	var pq *engine.PreparedQuery
+	if rn.prepared != nil {
+		if p, err := engine.Prepare(sq.Text); err == nil {
+			pq = p
+			tc.Features = p.Features
+		}
+	}
+
 	// Execute through the watchdog, retrying transient connector errors
 	// with jittered backoff. A flaky connection must never inflate bug
 	// counts: retries are not verdicts, and exhausting them is a skip.
 	var out execOutcome
 	for attempt := 0; ; attempt++ {
-		out = rn.executeGuarded(sq.Text)
+		out = rn.executeGuarded(sq.Text, pq)
 		if !isTransient(out.err) {
 			break
 		}

@@ -38,6 +38,18 @@ func ShardSeed(seed int64, shard int) int64 {
 // not goroutine-safe.
 type TargetFactory func(shard int) (Target, error)
 
+// ShardSeeder is the optional connector-reuse extension of Target: a
+// connector that can re-derive all its per-shard deterministic state
+// (engine seed and execution counter, flaky-injection stream) for a new
+// shard index. A worker reuses one such connector across every shard it
+// drains — skipping the per-shard engine and fault-catalog construction
+// that made workers=1 parallel campaigns slower than the sequential
+// runner — under the contract that after SeedShard(i) the target behaves
+// byte-identically to a freshly built factory(i) instance.
+type ShardSeeder interface {
+	SeedShard(shard int)
+}
+
 // ParallelConfig bounds one sharded campaign.
 type ParallelConfig struct {
 	// Workers is the worker-pool size; 0 selects GOMAXPROCS. The pool is
@@ -127,8 +139,35 @@ func RunParallel(cfg ParallelConfig, factory TargetFactory, observe func(shard i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A connector that supports per-shard reseeding is built once
+			// and reused for every shard this worker drains; others are
+			// built and closed per shard as before. Reuse changes which
+			// instance runs a shard, never what the shard computes: the
+			// shard's RNG streams derive from (campaign seed, shard) alone.
+			var reused Target
+			defer closeTarget(&reused)
 			for shard := range jobs {
-				perShard[shard] = runShard(cfg, shard, factory, observe)
+				if reused != nil {
+					reused.(ShardSeeder).SeedShard(shard)
+					perShard[shard] = runShardOn(cfg, shard, reused, observe)
+					continue
+				}
+				target, err := factory(shard)
+				if err != nil {
+					var s Stats
+					s.Robust.FailedIterations++
+					perShard[shard] = s
+					continue
+				}
+				if _, ok := target.(ShardSeeder); ok {
+					// The factory seeds the instance for its shard index,
+					// so the first shard needs no SeedShard call.
+					reused = target
+					perShard[shard] = runShardOn(cfg, shard, reused, observe)
+					continue
+				}
+				perShard[shard] = runShardOn(cfg, shard, target, observe)
+				closeTarget(&target)
 			}
 		}()
 	}
@@ -147,20 +186,24 @@ func RunParallel(cfg ParallelConfig, factory TargetFactory, observe func(shard i
 	return ps
 }
 
-// runShard executes one logical shard: fresh seed, fresh connector,
-// fresh runner, one workflow iteration.
-func runShard(cfg ParallelConfig, shard int, factory TargetFactory, observe func(int, Target, *TestCase)) Stats {
+// closeTarget closes a connector if it supports closing; the pointer
+// form lets deferred worker cleanup see the final reused instance.
+func closeTarget(t *Target) {
+	if t == nil || *t == nil {
+		return
+	}
+	if c, ok := (*t).(interface{ Close() error }); ok {
+		c.Close()
+	}
+}
+
+// runShardOn executes one logical shard on an already-built connector:
+// fresh shard seed, fresh runner, one workflow iteration. The runner is
+// cheap to construct; only the connector (engine + fault catalog) is
+// worth reusing across shards.
+func runShardOn(cfg ParallelConfig, shard int, target Target, observe func(int, Target, *TestCase)) Stats {
 	rcfg := cfg.Runner
 	rcfg.Seed = ShardSeed(cfg.Runner.Seed, shard)
-	target, err := factory(shard)
-	if err != nil {
-		var s Stats
-		s.Robust.FailedIterations++
-		return s
-	}
-	if c, ok := target.(interface{ Close() error }); ok {
-		defer c.Close()
-	}
 	rn := NewRunner(target, rcfg)
 	var report func(*TestCase)
 	if observe != nil {

@@ -6,6 +6,7 @@ import (
 
 	"gqs/internal/cypher/ast"
 	"gqs/internal/engine"
+	"gqs/internal/eval"
 	"gqs/internal/graph"
 	"gqs/internal/value"
 )
@@ -71,6 +72,14 @@ type Synthesizer struct {
 	tracker   *Tracker
 	history   []*Path
 	elemScope map[string]graph.ID
+
+	// constCtx, constEnv, and constWrap are the reusable scratch state of
+	// evalConst/wrapAccess: synthesis is single-threaded, and evaluation
+	// retains neither the context nor the maps in its result (results
+	// only alias the substituted property values, which the caller owns).
+	constCtx  eval.Ctx
+	constEnv  map[string]value.Value
+	constWrap map[string]value.Value
 }
 
 // NewSynthesizer creates a synthesizer over the generated graph.

@@ -40,7 +40,9 @@ func (l *Lexer) Err() error {
 // EOF, and the first error if any.
 func All(src string) ([]token.Token, error) {
 	l := New(src)
-	var ts []token.Token
+	// Tokens average a handful of source bytes each; sizing up front keeps
+	// the append loop out of growslice for typical queries.
+	ts := make([]token.Token, 0, len(src)/4+8)
 	for {
 		t := l.Next()
 		ts = append(ts, t)
@@ -259,6 +261,13 @@ func (l *Lexer) str(quote byte) token.Token {
 func (l *Lexer) ident() token.Token {
 	start := l.pos
 	for l.pos < len(l.src) {
+		if c := l.src[l.pos]; c < utf8.RuneSelf {
+			if !isIdentPartASCII(c) {
+				break
+			}
+			l.pos++
+			continue
+		}
 		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
 		if !isIdentPart(r) {
 			break
@@ -267,6 +276,10 @@ func (l *Lexer) ident() token.Token {
 	}
 	lit := l.src[start:l.pos]
 	return token.Token{Type: token.Lookup(lit), Lit: lit, Pos: start}
+}
+
+func isIdentPartASCII(c byte) bool {
+	return c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
 }
 
 func (l *Lexer) quotedIdent() token.Token {

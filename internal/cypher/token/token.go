@@ -128,19 +128,37 @@ func (t Type) String() string {
 	return "TOKEN(?)"
 }
 
-var keywords = map[string]Type{}
+var (
+	keywords      = map[string]Type{}
+	keywordsLower = map[string]Type{}
+)
 
 func init() {
 	for t := KwMatch; t <= KwCount; t++ {
 		keywords[names[t]] = t
+		keywordsLower[strings.ToLower(names[t])] = t
 	}
 }
 
 // Lookup maps an identifier to its keyword type, or returns Ident.
-// Cypher keywords are case-insensitive.
+// Cypher keywords are case-insensitive. The all-upper and all-lower
+// spellings hit a map directly so the overwhelmingly common identifiers
+// (lowercase variables and properties, uppercase keywords) never pay
+// ToUpper's allocation; only mixed-case spellings normalize.
 func Lookup(ident string) Type {
-	if t, ok := keywords[strings.ToUpper(ident)]; ok {
+	if t, ok := keywords[ident]; ok {
 		return t
+	}
+	if t, ok := keywordsLower[ident]; ok {
+		return t
+	}
+	for i := 0; i < len(ident); i++ {
+		if c := ident[i]; c >= 'A' && c <= 'Z' {
+			if t, ok := keywords[strings.ToUpper(ident)]; ok {
+				return t
+			}
+			break
+		}
 	}
 	return Ident
 }

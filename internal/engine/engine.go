@@ -98,6 +98,12 @@ type Engine struct {
 	// counts executions so each derives an independent stream.
 	exec    *functions.ExecState
 	execSeq int64
+	// ectx is the scratch eval.Ctx reused across every row of an
+	// execution; evalCtx refreshes its fields instead of allocating a new
+	// context per evaluated expression. Evaluation never retains the
+	// pointer past the call, and one engine never evaluates two
+	// expressions at once, so a single scratch slot suffices.
+	ectx eval.Ctx
 }
 
 // New creates an engine with the given options. Each unset limit field
@@ -134,8 +140,14 @@ func (e *Engine) Dialect() Dialect { return e.opts.Dialect }
 
 // SetSeed replaces the seed behind the nondeterministic functions (see
 // Options.Seed), for engines constructed before their seed is known —
-// e.g. per-shard instances built by a connector factory.
-func (e *Engine) SetSeed(seed int64) { e.opts.Seed = seed }
+// e.g. per-shard instances built by a connector factory. The execution
+// counter restarts too, so a reused engine re-seeded for a new shard
+// derives exactly the rand()/timestamp() streams a freshly constructed
+// engine with that seed would.
+func (e *Engine) SetSeed(seed int64) {
+	e.opts.Seed = seed
+	e.execSeq = 0
+}
 
 // PlanTrace returns the access paths chosen for the most recent query.
 func (e *Engine) PlanTrace() []string { return e.planTrace }
@@ -164,6 +176,14 @@ func (e *Engine) ExecuteParamsCtx(ctx context.Context, query string, params map[
 	if err != nil {
 		return nil, err
 	}
+	return e.executeWithState(ctx, q, params)
+}
+
+// executeWithState installs the per-execution state (parameters, context,
+// the execution-scoped rand()/timestamp() stream) and runs the query. The
+// AST is treated as read-only: it may be a PreparedQuery's tree shared
+// with concurrent executions on other engines.
+func (e *Engine) executeWithState(ctx context.Context, q *ast.Query, params map[string]value.Value) (*Result, error) {
 	seed := e.opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -314,7 +334,13 @@ func (e *Engine) executeSingle(s *ast.SingleQuery) (*Result, error) {
 }
 
 func (e *Engine) evalCtx(r row) *eval.Ctx {
-	return &eval.Ctx{Graph: e.store.Graph(), Env: r, Params: e.params, Exec: e.exec}
+	// Field-wise refresh: assigning a struct literal would discard the
+	// context's internal scratch buffers along with the row state.
+	e.ectx.Graph = e.store.Graph()
+	e.ectx.Env = r
+	e.ectx.Params = e.params
+	e.ectx.Exec = e.exec
+	return &e.ectx
 }
 
 // evalIn evaluates an expression in a row's environment.

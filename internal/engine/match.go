@@ -36,19 +36,26 @@ func (e *Engine) execMatch(c *ast.MatchClause, in []row) ([]row, error) {
 		conj = splitWhere(c.Where)
 	}
 	steps := 0
+	// One matcher serves every input row: its backtracking state (the
+	// applied flags and the relationship-uniqueness set) is fully unwound
+	// by the undo functions whenever run returns, so only env changes per
+	// row. envExtra sizes each env clone for the bindings the patterns
+	// will add (plus the synthetic anonymous-node key), so the bind hot
+	// path never rehashes the map.
+	envExtra := len(patternVars(c.Patterns)) + 1
+	m := &matcher{
+		engine:   e,
+		patterns: c.Patterns,
+		conj:     conj,
+		applied:  make([]bool, len(conj)),
+		uniq:     e.opts.Dialect.RelUniqueness,
+		used:     map[graph.ID]bool{},
+		steps:    &steps,
+		maxSteps: e.opts.Limits.MaxMatchSteps,
+	}
 	var out []row
 	for _, r := range in {
-		m := &matcher{
-			engine:   e,
-			patterns: c.Patterns,
-			conj:     conj,
-			applied:  make([]bool, len(conj)),
-			uniq:     e.opts.Dialect.RelUniqueness,
-			used:     map[graph.ID]bool{},
-			env:      cloneRow(r),
-			steps:    &steps,
-			maxSteps: e.opts.Limits.MaxMatchSteps,
-		}
+		m.env = cloneRowCap(r, envExtra)
 		matched := false
 		err := m.run(func(env row) error {
 			matched = true
@@ -62,7 +69,7 @@ func (e *Engine) execMatch(c *ast.MatchClause, in []row) ([]row, error) {
 			return nil, err
 		}
 		if c.Optional && !matched {
-			nr := cloneRow(r)
+			nr := cloneRowCap(r, envExtra)
 			for _, v := range patternVars(c.Patterns) {
 				if _, bound := r[v]; !bound {
 					nr[v] = value.Null
@@ -109,6 +116,19 @@ type matcher struct {
 	steps    *int
 	maxSteps int
 	emit     func(row) error
+	// conjStack and bindStack are the backtracking undo logs: appending
+	// on the way down and truncating to a saved mark on the way up keeps
+	// the per-bind hot path free of closure and slice allocations. Both
+	// are empty between rows (every path fully unwinds them).
+	conjStack []int
+	bindStack []bindSave
+}
+
+// bindSave is one bindStack entry: the previous value of an env key.
+type bindSave struct {
+	name string
+	old  value.Value
+	had  bool
 }
 
 // errStop distinguishes deliberate early termination (unused for now) from
@@ -117,15 +137,11 @@ type matcher struct {
 func (m *matcher) run(emit func(row) error) error {
 	m.emit = emit
 	// Entry-level conjuncts: variables already bound by the input row.
-	ok, undo, err := m.applyReadyConjuncts()
-	if err != nil {
+	mark, ok, err := m.applyReadyConjuncts()
+	defer m.undoConjuncts(mark)
+	if err != nil || !ok {
 		return err
 	}
-	if !ok {
-		undo()
-		return nil
-	}
-	defer undo()
 	return m.matchPart(0)
 }
 
@@ -138,15 +154,11 @@ func (m *matcher) step() error {
 }
 
 // applyReadyConjuncts evaluates every not-yet-applied conjunct whose
-// variables are all bound. It returns whether all of them held, and an
-// undo function restoring the applied flags.
-func (m *matcher) applyReadyConjuncts() (bool, func(), error) {
-	var appliedNow []int
-	undo := func() {
-		for _, i := range appliedNow {
-			m.applied[i] = false
-		}
-	}
+// variables are all bound, recording the applied indices on the shared
+// undo log. It returns the log mark to hand back to undoConjuncts and
+// whether every evaluated conjunct held.
+func (m *matcher) applyReadyConjuncts() (int, bool, error) {
+	mark := len(m.conjStack)
 	for i, c := range m.conj {
 		if m.applied[i] {
 			continue
@@ -162,16 +174,24 @@ func (m *matcher) applyReadyConjuncts() (bool, func(), error) {
 			continue
 		}
 		m.applied[i] = true
-		appliedNow = append(appliedNow, i)
+		m.conjStack = append(m.conjStack, i)
 		t, err := eval.EvalPredicate(m.engine.evalCtx(m.env), c.expr)
 		if err != nil {
-			return false, undo, err
+			return mark, false, err
 		}
 		if t != value.TriTrue {
-			return false, undo, nil
+			return mark, false, nil
 		}
 	}
-	return true, undo, nil
+	return mark, true, nil
+}
+
+// undoConjuncts clears the applied flags recorded since mark.
+func (m *matcher) undoConjuncts(mark int) {
+	for _, i := range m.conjStack[mark:] {
+		m.applied[i] = false
+	}
+	m.conjStack = m.conjStack[:mark]
 }
 
 func (m *matcher) matchPart(idx int) error {
@@ -263,10 +283,10 @@ func (m *matcher) matchNode(p *ast.PatternPart, i int, cont func() error) error 
 		if err != nil || !ok {
 			return err
 		}
-		undo := m.bind(nodeKey(np), value.Node(id))
-		defer undo()
-		okc, undoC, err := m.applyReadyConjuncts()
-		defer undoC()
+		bmark := m.bindPush(nodeKey(np), value.Node(id))
+		defer m.undoBinds(bmark)
+		cmark, okc, err := m.applyReadyConjuncts()
+		defer m.undoConjuncts(cmark)
 		if err != nil || !okc {
 			return err
 		}
@@ -411,10 +431,10 @@ func (m *matcher) matchRel(p *ast.PatternPart, i int, cont func() error) error {
 			m.used[relID] = true
 			defer delete(m.used, relID)
 		}
-		undoRel := m.bind(rp.Variable, value.Rel(relID))
-		defer undoRel()
-		okc, undoC, err := m.applyReadyConjuncts()
-		defer undoC()
+		bmark := m.bindPush(rp.Variable, value.Rel(relID))
+		defer m.undoBinds(bmark)
+		cmark, okc, err := m.applyReadyConjuncts()
+		defer m.undoConjuncts(cmark)
 		if err != nil || !okc {
 			return err
 		}
@@ -470,10 +490,10 @@ func (m *matcher) matchNodeAt(p *ast.PatternPart, i int, id graph.ID, cont func(
 	if err != nil || !ok {
 		return err
 	}
-	undo := m.bind(nodeKey(np), value.Node(id))
-	defer undo()
-	okc, undoC, err := m.applyReadyConjuncts()
-	defer undoC()
+	bmark := m.bindPush(nodeKey(np), value.Node(id))
+	defer m.undoBinds(bmark)
+	cmark, okc, err := m.applyReadyConjuncts()
+	defer m.undoConjuncts(cmark)
 	if err != nil || !okc {
 		return err
 	}
@@ -483,21 +503,30 @@ func (m *matcher) matchNodeAt(p *ast.PatternPart, i int, id graph.ID, cont func(
 	return m.matchRel(p, i, cont)
 }
 
-// bind sets a variable, returning an undo function. Anonymous elements
-// (name "") are not bound.
-func (m *matcher) bind(name string, v value.Value) func() {
+// bindPush sets a variable, logging the previous binding for undoBinds,
+// and returns the log mark. Anonymous elements (name "") are not bound.
+func (m *matcher) bindPush(name string, v value.Value) int {
+	mark := len(m.bindStack)
 	if name == "" {
-		return func() {}
+		return mark
 	}
 	old, had := m.env[name]
+	m.bindStack = append(m.bindStack, bindSave{name: name, old: old, had: had})
 	m.env[name] = v
-	return func() {
-		if had {
-			m.env[name] = old
+	return mark
+}
+
+// undoBinds restores the env bindings logged since mark, newest first.
+func (m *matcher) undoBinds(mark int) {
+	for i := len(m.bindStack) - 1; i >= mark; i-- {
+		b := m.bindStack[i]
+		if b.had {
+			m.env[b.name] = b.old
 		} else {
-			delete(m.env, name)
+			delete(m.env, b.name)
 		}
 	}
+	m.bindStack = m.bindStack[:mark]
 }
 
 // anonNodeKey is the synthetic env binding for anonymous chain nodes so

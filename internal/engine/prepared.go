@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"context"
+	"hash/fnv"
+
+	"gqs/internal/cypher/ast"
+	"gqs/internal/cypher/parser"
+	"gqs/internal/metrics"
+)
+
+// PreparedQuery is a query parsed and analyzed exactly once, ready to be
+// executed any number of times — sequentially or concurrently — by any
+// number of targets. It is the unit of the prepared-execution path that
+// removes the per-target parse tax: the runner prepares each synthesized
+// query once, and every connector executing it reuses the same AST and
+// the same feature vector instead of re-lexing, re-parsing, and
+// re-analyzing the text.
+//
+// Invariants:
+//
+//   - AST is immutable after Prepare returns. Engine execution never
+//     writes to it (planner rewrites such as traversal reversal and
+//     aggregate substitution copy the nodes they change), so one
+//     PreparedQuery may be in flight on several connectors at once.
+//   - Features is the analysis of exactly this AST, with Hash computed
+//     from Text — byte-for-byte what metrics.Analyze(Text) returns, so
+//     fault triggers keyed on the feature vector see identical features
+//     on every target.
+//   - All per-execution state (variable environments, the rand()/
+//     timestamp() stream of functions.ExecState, cancellation) lives in
+//     the executing engine, never in the PreparedQuery.
+type PreparedQuery struct {
+	// Text is the original query text; compatibility paths and reports
+	// that need a string form use it without re-rendering the AST.
+	Text string
+	// AST is the parsed query. Treat as read-only.
+	AST *ast.Query
+	// Features is the precomputed complexity/feature analysis driving
+	// fault triggers and the Table 5 metrics. Treat as read-only.
+	Features *metrics.Features
+}
+
+// Prepare parses and analyzes a query once. This is the single parse of
+// the prepared execution path: the returned value carries everything a
+// connector needs, so no downstream layer touches the parser again.
+func Prepare(text string) (*PreparedQuery, error) {
+	q, err := parser.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	f := metrics.AnalyzeAST(q)
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	f.Hash = h.Sum64()
+	return &PreparedQuery{Text: text, AST: q, Features: f}, nil
+}
+
+// ExecutePrepared runs a prepared query, sharing its AST with any other
+// concurrent executions. Equivalent to ExecuteCtx(ctx, pq.Text) minus the
+// parse.
+func (e *Engine) ExecutePrepared(ctx context.Context, pq *PreparedQuery) (*Result, error) {
+	return e.ExecuteASTCtx(ctx, pq.AST)
+}
+
+// ExecuteASTCtx runs an already-parsed query under a context. The AST is
+// never mutated — it may be shared with concurrent executions on other
+// engine instances — while all per-execution state (parameters, the
+// rand()/timestamp() stream, cancellation) is engine-local as usual.
+func (e *Engine) ExecuteASTCtx(ctx context.Context, q *ast.Query) (*Result, error) {
+	return e.executeWithState(ctx, q, nil)
+}

@@ -89,7 +89,14 @@ func (r *Result) String() string {
 type row = map[string]value.Value
 
 func cloneRow(r row) row {
-	out := make(row, len(r)+2)
+	return cloneRowCap(r, 2)
+}
+
+// cloneRowCap clones r into a map pre-sized for extra additional
+// bindings, so callers that know how many variables they are about to
+// bind (pattern matching does) avoid rehashing the env as it grows.
+func cloneRowCap(r row, extra int) row {
+	out := make(row, len(r)+extra)
 	for k, v := range r {
 		out[k] = v
 	}

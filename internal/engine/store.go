@@ -30,6 +30,15 @@ type Store struct {
 	// enforceSchema rejects property writes that deviate from the
 	// declared property types (Kùzu-style schema-first behaviour).
 	enforceSchema bool
+	// src is the source graph of the last Reset and dirty marks any write
+	// through the store since then. A Reset with the same source and a
+	// clean store is the restart-without-change pattern (a recovery
+	// restart mid-iteration, a read-only query batch) and skips the deep
+	// clone and index rebuild. Every mutation MUST go through a store
+	// method so the flag stays truthful — which is also the store's
+	// documented ownership contract for Graph().
+	src   *graph.Graph
+	dirty bool
 }
 
 // NewStore returns a store over an empty graph.
@@ -40,9 +49,17 @@ func NewStore() *Store {
 }
 
 // Reset replaces the store contents with a deep copy of g, rebuilding all
-// indexes. A nil schema declares no property indexes.
+// indexes. A nil schema declares no property indexes. When the store
+// already holds an unmodified copy of exactly this graph and schema, the
+// clone and rebuild are skipped — the contents are byte-identical either
+// way.
 func (s *Store) Reset(g *graph.Graph, schema *graph.Schema) {
+	if !s.dirty && s.src == g && s.schema == schema && s.src != nil {
+		return
+	}
 	s.g = g.Clone()
+	s.src = g
+	s.dirty = false
 	s.schema = schema
 	s.labelIdx = make(map[string]map[graph.ID]struct{})
 	s.propIdx = make(map[graph.IndexSpec]map[string][]graph.ID)
@@ -138,6 +155,7 @@ func (s *Store) HasIndex(label, prop string) bool {
 
 // CreateNode creates a node with the given labels and properties.
 func (s *Store) CreateNode(labels []string, props map[string]value.Value) *graph.Node {
+	s.dirty = true
 	n := s.g.NewNode(labels...)
 	for k, v := range props {
 		if !v.IsNull() {
@@ -150,6 +168,7 @@ func (s *Store) CreateNode(labels []string, props map[string]value.Value) *graph
 
 // CreateRel creates a relationship.
 func (s *Store) CreateRel(start, end graph.ID, typ string, props map[string]value.Value) (*graph.Rel, error) {
+	s.dirty = true
 	r, err := s.g.NewRel(start, end, typ)
 	if err != nil {
 		return nil, err
@@ -199,6 +218,7 @@ func (s *Store) SetProp(id graph.ID, isRel bool, name string, v value.Value) err
 	if err := s.CheckPropType(name, v); err != nil {
 		return err
 	}
+	s.dirty = true
 	if isRel {
 		r := s.g.Rel(id)
 		if r == nil {
@@ -231,6 +251,7 @@ func (s *Store) AddLabels(id graph.ID, labels []string) error {
 	if n == nil {
 		return fmt.Errorf("node %d does not exist", id)
 	}
+	s.dirty = true
 	s.unindexNode(n)
 	for _, l := range labels {
 		if !n.HasLabel(l) {
@@ -247,6 +268,7 @@ func (s *Store) RemoveLabels(id graph.ID, labels []string) error {
 	if n == nil {
 		return fmt.Errorf("node %d does not exist", id)
 	}
+	s.dirty = true
 	s.unindexNode(n)
 	for _, l := range labels {
 		for i, x := range n.Labels {
@@ -266,6 +288,7 @@ func (s *Store) DeleteNode(id graph.ID, detach bool) error {
 	if n == nil {
 		return nil // deleting twice is a no-op, as in Cypher
 	}
+	s.dirty = true
 	s.unindexNode(n)
 	if err := s.g.DeleteNode(id, detach); err != nil {
 		s.indexNode(n)
@@ -275,7 +298,10 @@ func (s *Store) DeleteNode(id graph.ID, detach bool) error {
 }
 
 // DeleteRel deletes a relationship.
-func (s *Store) DeleteRel(id graph.ID) { s.g.DeleteRel(id) }
+func (s *Store) DeleteRel(id graph.ID) {
+	s.dirty = true
+	s.g.DeleteRel(id)
+}
 
 // Labels returns all labels present in the store, sorted.
 func (s *Store) Labels() []string {

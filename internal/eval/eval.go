@@ -25,6 +25,14 @@ type Ctx struct {
 	// Exec is the per-execution rand()/timestamp() state. Nil selects the
 	// process-global fallback (race-free, not seed-reproducible).
 	Exec *functions.ExecState
+	// argScratch is the reusable argument stack of evalFuncCall. Nested
+	// calls share it with strict stack discipline; it relies on no
+	// function implementation retaining the args slice beyond the call
+	// (they read values out of it, and values own their own storage).
+	argScratch []value.Value
+	// gctx is the cached functions.GraphContext adapter: passing &gctx
+	// avoids re-boxing a GraphCtx into an interface on every call.
+	gctx GraphCtx
 }
 
 // GraphCtx adapts a graph.Graph (plus optional execution state) to the
@@ -187,17 +195,14 @@ func Eval(ctx *Ctx, e ast.Expr) (value.Value, error) {
 	}
 }
 
-// bindLocal installs a comprehension/quantifier variable, returning an
-// undo function restoring the outer binding (if any).
-func bindLocal(ctx *Ctx, name string, v value.Value) func() {
-	old, had := ctx.Env[name]
-	ctx.Env[name] = v
-	return func() {
-		if had {
-			ctx.Env[name] = old
-		} else {
-			delete(ctx.Env, name)
-		}
+// restoreLocal undoes a comprehension/quantifier variable binding. The
+// save happens once before the element loop (the bound name is constant
+// across elements), so the per-element hot path allocates no closures.
+func restoreLocal(ctx *Ctx, name string, old value.Value, had bool) {
+	if had {
+		ctx.Env[name] = old
+	} else {
+		delete(ctx.Env, name)
 	}
 }
 
@@ -212,14 +217,16 @@ func evalComprehension(ctx *Ctx, e *ast.ListComprehension) (value.Value, error) 
 	if list.Kind() != value.KindList {
 		return value.Null, fmt.Errorf("type error: list comprehension over %s", list.Kind())
 	}
-	var out []value.Value
-	for _, el := range list.AsList() {
-		undo := bindLocal(ctx, e.Var, el)
+	els := list.AsList()
+	out := make([]value.Value, 0, len(els))
+	old, had := ctx.Env[e.Var]
+	defer restoreLocal(ctx, e.Var, old, had)
+	for _, el := range els {
+		ctx.Env[e.Var] = el
 		keep := value.TriTrue
 		if e.Where != nil {
 			keep, err = EvalPredicate(ctx, e.Where)
 			if err != nil {
-				undo()
 				return value.Null, err
 			}
 		}
@@ -228,13 +235,11 @@ func evalComprehension(ctx *Ctx, e *ast.ListComprehension) (value.Value, error) 
 			if e.Map != nil {
 				mapped, err = Eval(ctx, e.Map)
 				if err != nil {
-					undo()
 					return value.Null, err
 				}
 			}
 			out = append(out, mapped)
 		}
-		undo()
 	}
 	return value.ListOf(out), nil
 }
@@ -251,10 +256,11 @@ func evalQuantifier(ctx *Ctx, e *ast.Quantifier) (value.Value, error) {
 		return value.Null, fmt.Errorf("type error: %s() over %s", e.Kind, list.Kind())
 	}
 	trues, falses, unknowns := 0, 0, 0
+	old, had := ctx.Env[e.Var]
+	defer restoreLocal(ctx, e.Var, old, had)
 	for _, el := range list.AsList() {
-		undo := bindLocal(ctx, e.Var, el)
+		ctx.Env[e.Var] = el
 		t, err := EvalPredicate(ctx, e.Pred)
-		undo()
 		if err != nil {
 			return value.Null, err
 		}
@@ -457,15 +463,19 @@ func evalFuncCall(ctx *Ctx, e *ast.FuncCall) (value.Value, error) {
 	if f == nil {
 		return value.Null, fmt.Errorf("unknown function %s", e.Name)
 	}
-	args := make([]value.Value, len(e.Args))
-	for i, a := range e.Args {
+	base := len(ctx.argScratch)
+	for _, a := range e.Args {
 		v, err := Eval(ctx, a)
 		if err != nil {
+			ctx.argScratch = ctx.argScratch[:base]
 			return value.Null, err
 		}
-		args[i] = v
+		ctx.argScratch = append(ctx.argScratch, v)
 	}
-	return functions.Invoke(f, GraphCtx{G: ctx.Graph, Exec: ctx.Exec}, args)
+	ctx.gctx.G, ctx.gctx.Exec = ctx.Graph, ctx.Exec
+	res, err := functions.Invoke(f, &ctx.gctx, ctx.argScratch[base:])
+	ctx.argScratch = ctx.argScratch[:base]
+	return res, err
 }
 
 func evalCase(ctx *Ctx, e *ast.CaseExpr) (value.Value, error) {

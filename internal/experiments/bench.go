@@ -1,18 +1,29 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
+
+	"gqs/internal/core"
+	"gqs/internal/cypher/parser"
+	"gqs/internal/engine"
+	"gqs/internal/gdb"
+	"gqs/internal/graph"
 )
 
 // BenchResult is the machine-readable outcome of the sharded-executor
 // throughput bench: the same fixed-seed campaign at 1 worker and at N
 // workers, plus the cross-check that both found the identical bug set
-// (the determinism contract, measured rather than assumed).
+// (the determinism contract, measured rather than assumed), plus the
+// parse-share micro-comparison of the prepared-execution layer
+// (DESIGN.md §8).
 type BenchResult struct {
 	Seed       int64 `json:"seed"`
 	Iterations int   `json:"iterations"`
@@ -29,6 +40,113 @@ type BenchResult struct {
 	Speedup          float64 `json:"speedup"`
 	Findings         int     `json:"findings"`
 	IdenticalBugSets bool    `json:"identical_bug_sets"`
+
+	// BugReportFNV is a 64-bit FNV-1a digest of the campaign's canonical
+	// bug report, so bench-regress can compare bug sets across result
+	// files without embedding every finding.
+	BugReportFNV string `json:"bug_report_fnv,omitempty"`
+
+	// ParseShare is the micro-comparison of one oracle check (one
+	// synthesized query validated on all five dialects) through the text
+	// path versus the prepared path.
+	ParseShare *ParseShareResult `json:"parse_share,omitempty"`
+}
+
+// ParseShareResult quantifies what the prepared-execution layer saves
+// per oracle check: an oracle check here is one synthesized query
+// executed on all five dialects (reference + 4 simulated GDBs). The
+// text path re-parses and re-analyzes the query on every dialect; the
+// prepared path parses once and shares the AST.
+type ParseShareResult struct {
+	Queries int `json:"queries"`
+	Reps    int `json:"reps"`
+
+	TextNsPerCheck     float64 `json:"text_ns_per_check"`
+	PreparedNsPerCheck float64 `json:"prepared_ns_per_check"`
+	// Speedup is text/prepared wall-clock per oracle check — the
+	// parse-share speedup make bench records.
+	Speedup float64 `json:"speedup"`
+
+	TextParsesPerCheck     float64 `json:"text_parses_per_check"`
+	PreparedParsesPerCheck float64 `json:"prepared_parses_per_check"`
+
+	TextAllocsPerCheck     float64 `json:"text_allocs_per_check"`
+	PreparedAllocsPerCheck float64 `json:"prepared_allocs_per_check"`
+}
+
+// measureParseShare runs the micro-comparison on a synthesized corpus.
+// Both paths drive the same five connectors over the same queries in the
+// same order, so the comparison isolates parsing and per-execution
+// allocation cost, not workload differences.
+func measureParseShare(seed int64) *ParseShareResult {
+	r := rand.New(rand.NewSource(seed))
+	g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 12, MaxRels: 40})
+	syn := core.NewSynthesizer(r, g, schema, core.DefaultConfig())
+	var texts []string
+	for tries := 0; len(texts) < 24 && tries < 2000; tries++ {
+		gt := core.SelectGroundTruth(r, g, 6)
+		if sq, err := syn.Synthesize(gt); err == nil {
+			texts = append(texts, sq.Text)
+		}
+	}
+	if len(texts) == 0 {
+		return nil
+	}
+	conns := append(gdb.All(), gdb.NewReference())
+	for _, c := range conns {
+		if err := c.Reset(g, schema); err != nil {
+			return nil
+		}
+	}
+	ctx := context.Background()
+	const reps = 20
+	checks := float64(reps * len(texts))
+
+	var ms runtime.MemStats
+	measure := func(run func(text string)) (sec float64, parses int64, allocs uint64) {
+		runtime.ReadMemStats(&ms)
+		m0 := ms.Mallocs
+		p0 := parser.Parses()
+		start := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			for _, q := range texts {
+				run(q)
+			}
+		}
+		sec = time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms)
+		return sec, parser.Parses() - p0, ms.Mallocs - m0
+	}
+
+	textSec, textParses, textAllocs := measure(func(q string) {
+		for _, c := range conns {
+			c.ExecuteCtx(ctx, q) //nolint:errcheck // fault-injected errors are part of the workload
+		}
+	})
+	prepSec, prepParses, prepAllocs := measure(func(q string) {
+		pq, err := engine.Prepare(q)
+		if err != nil {
+			return
+		}
+		for _, c := range conns {
+			c.ExecutePrepared(ctx, pq) //nolint:errcheck // as above
+		}
+	})
+
+	res := &ParseShareResult{
+		Queries:                len(texts),
+		Reps:                   reps,
+		TextNsPerCheck:         textSec * 1e9 / checks,
+		PreparedNsPerCheck:     prepSec * 1e9 / checks,
+		TextParsesPerCheck:     float64(textParses) / checks,
+		PreparedParsesPerCheck: float64(prepParses) / checks,
+		TextAllocsPerCheck:     float64(textAllocs) / checks,
+		PreparedAllocsPerCheck: float64(prepAllocs) / checks,
+	}
+	if prepSec > 0 {
+		res.Speedup = textSec / prepSec
+	}
+	return res
 }
 
 // RunThroughputBench runs the bench and renders a short human summary to
@@ -62,6 +180,9 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 		Findings:         len(par.Findings),
 		IdenticalBugSets: base.CanonicalBugReport() == par.CanonicalBugReport(),
 	}
+	h := fnv.New64a()
+	h.Write([]byte(par.CanonicalBugReport()))
+	res.BugReportFNV = fmt.Sprintf("%016x", h.Sum64())
 	// Per-GDB iterations: the campaign runs Iterations shards against
 	// each of the four sims, so rate totals use the meter's count.
 	if baseSec > 0 {
@@ -73,6 +194,7 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 	if parSec > 0 {
 		res.Speedup = baseSec / parSec
 	}
+	res.ParseShare = measureParseShare(seed)
 
 	fmt.Fprintf(w, "== Sharded-executor throughput (seed %d, %d iterations/GDB, GOMAXPROCS %d) ==\n",
 		seed, iterations, res.GOMAXPROCS)
@@ -80,6 +202,14 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 	fmt.Fprintf(w, "workers=%d:  %6.2fs  %7.1f iterations/s\n", workers, parSec, res.ParallelIterSec)
 	fmt.Fprintf(w, "speedup: %.2fx; identical bug sets: %v (%d findings)\n",
 		res.Speedup, res.IdenticalBugSets, res.Findings)
+	if ps := res.ParseShare; ps != nil {
+		fmt.Fprintf(w, "parse share (%d queries x %d reps x 5 dialects):\n", ps.Queries, ps.Reps)
+		fmt.Fprintf(w, "  text:     %8.0f ns/check  %5.1f parses/check  %7.0f allocs/check\n",
+			ps.TextNsPerCheck, ps.TextParsesPerCheck, ps.TextAllocsPerCheck)
+		fmt.Fprintf(w, "  prepared: %8.0f ns/check  %5.1f parses/check  %7.0f allocs/check\n",
+			ps.PreparedNsPerCheck, ps.PreparedParsesPerCheck, ps.PreparedAllocsPerCheck)
+		fmt.Fprintf(w, "  parse-share speedup: %.2fx\n", ps.Speedup)
+	}
 	return res
 }
 
@@ -90,4 +220,18 @@ func (r BenchResult) WriteJSON(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadBenchJSON loads a bench result previously written by WriteJSON —
+// the input of the bench-regress gate.
+func ReadBenchJSON(path string) (BenchResult, error) {
+	var r BenchResult
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
 }

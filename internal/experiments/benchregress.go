@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BenchRegress is the regression gate behind `make bench-regress`: it
+// compares the current bench result against every previous BENCH_*.json
+// baseline and fails on a >10% parallel-throughput regression or a
+// bug-set mismatch. Baselines recorded at a different seed or iteration
+// count still gate throughput (the campaign workload is the same shape)
+// but not the bug set, which is only comparable like-for-like.
+func BenchRegress(w io.Writer, currentPath string, previousPaths []string) error {
+	cur, err := ReadBenchJSON(currentPath)
+	if err != nil {
+		return fmt.Errorf("current result: %w", err)
+	}
+	var failures []string
+	if !cur.IdenticalBugSets {
+		failures = append(failures, fmt.Sprintf(
+			"%s: bug sets differ across worker counts — determinism contract broken", currentPath))
+	}
+	fmt.Fprintf(w, "== bench-regress: %s (%.1f iterations/s, %d findings) ==\n",
+		currentPath, cur.ParallelIterSec, cur.Findings)
+	for _, p := range previousPaths {
+		prev, err := ReadBenchJSON(p)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("baseline %v", err))
+			continue
+		}
+		ratio := 0.0
+		if prev.ParallelIterSec > 0 {
+			ratio = cur.ParallelIterSec / prev.ParallelIterSec
+		}
+		comparable := prev.Seed == cur.Seed && prev.Iterations == cur.Iterations
+		fmt.Fprintf(w, "vs %-18s %6.1f -> %6.1f iterations/s (%.2fx)", p,
+			prev.ParallelIterSec, cur.ParallelIterSec, ratio)
+		if ratio > 0 && ratio < 0.9 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: throughput regressed to %.2fx of %s (%.1f vs %.1f iterations/s)",
+				currentPath, ratio, p, cur.ParallelIterSec, prev.ParallelIterSec))
+			fmt.Fprint(w, "  REGRESSION")
+		}
+		if comparable {
+			if prev.Findings != cur.Findings {
+				failures = append(failures, fmt.Sprintf(
+					"%s: findings changed vs %s at the same seed/iterations (%d vs %d)",
+					currentPath, p, cur.Findings, prev.Findings))
+				fmt.Fprint(w, "  BUG-SET MISMATCH")
+			} else if prev.BugReportFNV != "" && cur.BugReportFNV != "" && prev.BugReportFNV != cur.BugReportFNV {
+				failures = append(failures, fmt.Sprintf(
+					"%s: bug report digest changed vs %s at the same seed/iterations",
+					currentPath, p))
+				fmt.Fprint(w, "  BUG-SET MISMATCH")
+			} else {
+				fmt.Fprint(w, "  bug set ok")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if len(previousPaths) == 0 {
+		fmt.Fprintln(w, "(no previous BENCH_*.json baselines found)")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench-regress failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintln(w, "bench-regress: ok")
+	return nil
+}

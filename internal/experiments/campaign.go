@@ -148,7 +148,7 @@ func (c *Campaign) runOn(sim *gdb.Sim, cfg CampaignConfig) {
 			Bug:      b,
 			GDB:      sim.Name(),
 			Query:    tc.Query,
-			Features: metrics.Analyze(tc.Query),
+			Features: featuresOf(tc),
 			Steps:    tc.Steps,
 			AtQuery:  c.Queries,
 			Graph:    tc.Graph,
@@ -156,6 +156,18 @@ func (c *Campaign) runOn(sim *gdb.Sim, cfg CampaignConfig) {
 		})
 	})
 	c.Robust.Add(rn.Stats().Robust)
+}
+
+// featuresOf returns the test case's feature vector: the one the
+// prepared execution path already computed when available, a fresh
+// analysis only for text-path targets. The prepared vector is the same
+// one the target's fault triggers evaluated, so findings are reported
+// with exactly the features that selected their bug.
+func featuresOf(tc *core.TestCase) *metrics.Features {
+	if tc.Features != nil {
+		return tc.Features
+	}
+	return metrics.Analyze(tc.Query)
 }
 
 // ByGDB groups findings per GDB.
@@ -283,12 +295,12 @@ func RunBaselineCampaign(tester baselines.Tester, gdbName string, rounds int, se
 		if round%graphEvery == 0 {
 			g, schema = graph.Generate(r, graph.GenConfig{MaxNodes: 10, MaxRels: 30})
 			if err := rt.Reset(g, schema); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("reset %s: %w", rt.Name(), err)
 			}
 			if gds, ok := tester.(*baselines.GDsmith); ok {
 				for _, p := range gds.Peers {
 					if err := p.Reset(g, schema); err != nil {
-						return nil, err
+						return nil, fmt.Errorf("reset peer %s: %w", p.Name(), err)
 					}
 				}
 			}

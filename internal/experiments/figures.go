@@ -76,7 +76,11 @@ func ThroughputForSteps(maxSteps, queries int) float64 {
 	r := rand.New(rand.NewSource(int64(maxSteps)))
 	g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 10, MaxRels: 40})
 	ref := gdb.NewReference()
-	ref.Reset(g, schema)
+	if err := ref.Reset(g, schema); err != nil {
+		// The reference connector has no schema requirement; a failed
+		// Reset means the harness itself is broken, not the measurement.
+		panic(fmt.Errorf("reset %s: %w", ref.Name(), err))
+	}
 	cfg := core.DefaultConfig()
 	cfg.MaxSteps = maxSteps
 	syn := core.NewSynthesizer(r, g, schema, cfg)

@@ -29,13 +29,14 @@ import (
 
 // shardEvent is one shard-local bug detection, buffered until the merge.
 type shardEvent struct {
-	bug     *faults.Bug
-	query   string
-	steps   int
-	atLocal int // 1-based query index within the shard
-	graph   *graph.Graph
-	schema  *graph.Schema
-	latency time.Duration
+	bug      *faults.Bug
+	query    string
+	features *metrics.Features // the vector the target's triggers saw
+	steps    int
+	atLocal  int // 1-based query index within the shard
+	graph    *graph.Graph
+	schema   *graph.Schema
+	latency  time.Duration
 }
 
 // shardLog is everything one shard reports: its test-case tallies and
@@ -121,13 +122,14 @@ func runShardedOn(c *Campaign, gdbName string, cfg CampaignConfig, seen map[stri
 			}
 		}
 		log.events = append(log.events, shardEvent{
-			bug:     b,
-			query:   tc.Query,
-			steps:   tc.Steps,
-			atLocal: log.queries,
-			graph:   tc.Graph,
-			schema:  tc.Schema,
-			latency: time.Since(start),
+			bug:      b,
+			query:    tc.Query,
+			features: featuresOf(tc),
+			steps:    tc.Steps,
+			atLocal:  log.queries,
+			graph:    tc.Graph,
+			schema:   tc.Schema,
+			latency:  time.Since(start),
 		})
 	})
 	meter.AddIterations(n)
@@ -147,7 +149,7 @@ func runShardedOn(c *Campaign, gdbName string, cfg CampaignConfig, seen map[stri
 				Bug:      ev.bug,
 				GDB:      gdbName,
 				Query:    ev.query,
-				Features: metrics.Analyze(ev.query),
+				Features: ev.features,
 				Steps:    ev.steps,
 				AtQuery:  base + ev.atLocal,
 				Graph:    ev.graph,

@@ -178,14 +178,21 @@ func OracleReplay(w io.Writer, c *Campaign) (gdbmeterCaught, grevCaught, total i
 	for _, f := range c.LogicFindings() {
 		total++
 		sim, err := gdb.ByName(f.GDB)
-		if err != nil || sim.Reset(f.Graph, f.Schema) != nil {
+		if err != nil {
+			continue
+		}
+		if rerr := sim.Reset(f.Graph, f.Schema); rerr != nil {
+			fmt.Fprintf(w, "skipping replay of %s: reset %s: %v\n", f.Bug.ID, sim.Name(), rerr)
 			continue
 		}
 		if applied, violated, _, err := baselines.TLPCheck(sim, f.Query); err == nil && applied && violated {
 			gdbmeterCaught++
 		}
 		sim2, _ := gdb.ByName(f.GDB)
-		sim2.Reset(f.Graph, f.Schema)
+		if rerr := sim2.Reset(f.Graph, f.Schema); rerr != nil {
+			fmt.Fprintf(w, "skipping GRev replay of %s: reset %s: %v\n", f.Bug.ID, sim2.Name(), rerr)
+			continue
+		}
 		if applied, violated, _, err := baselines.GRevCheck(sim2, f.Query); err == nil && applied && violated {
 			grevCaught++
 		}

@@ -17,19 +17,26 @@ import (
 // timestamp() from an atomic counter — race-free, but not reproducible
 // per seed.
 type ExecState struct {
-	rng *rand.Rand
-	ts  int64
+	seed int64
+	rng  *rand.Rand
+	ts   int64
 }
 
-// NewExecState creates execution state reproducible from seed.
+// NewExecState creates execution state reproducible from seed. The RNG
+// is seeded lazily on the first Rand call: seeding math/rand's source is
+// far more expensive than a whole typical query execution, and most
+// queries never call rand().
 func NewExecState(seed int64) *ExecState {
-	return &ExecState{rng: rand.New(rand.NewSource(seed))}
+	return &ExecState{seed: seed}
 }
 
 // Rand returns the next rand() draw.
 func (s *ExecState) Rand() float64 {
-	if s == nil || s.rng == nil {
+	if s == nil {
 		return rand.Float64()
+	}
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.seed))
 	}
 	return s.rng.Float64()
 }

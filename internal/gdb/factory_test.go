@@ -17,8 +17,8 @@ func TestFactoryBuildsIsolatedInstances(t *testing.T) {
 	if a == b {
 		t.Fatal("factory must build a fresh instance per call")
 	}
-	sa, sb := a.(*Sim), b.(*Sim)
-	if sa.Engine() == sb.Engine() {
+	ra, rb := a.(*reusable), b.(*reusable)
+	if ra.sim.Engine() == rb.sim.Engine() {
 		t.Fatal("instances must not share an engine")
 	}
 }
@@ -51,8 +51,54 @@ func TestFactoryFlakyWrapper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.(*Flaky); !ok {
-		t.Fatalf("FlakyRate > 0 must wrap the sim, got %T", c)
+	r, ok := c.(*reusable)
+	if !ok {
+		t.Fatalf("factory must return a reusable connector, got %T", c)
+	}
+	if r.flaky == nil {
+		t.Fatal("FlakyRate > 0 must wrap the sim in a flaky injector")
+	}
+	if _, ok := r.Connector.(*Flaky); !ok {
+		t.Fatalf("FlakyRate > 0 must route calls through the flaky wrapper, got %T", r.Connector)
+	}
+}
+
+// TestFactoryReuseMatchesFreshInstance pins the SeedShard contract: a
+// connector reused for shard j behaves byte-identically to a freshly
+// built factory(j) instance, both for the engine's rand() stream and for
+// the flaky injector's failure sequence.
+func TestFactoryReuseMatchesFreshInstance(t *testing.T) {
+	connect := NewFactory(FactoryConfig{GDB: "reference", Seed: 11, FlakyRate: 0.4})
+	outcomes := func(c Connector) []string {
+		t.Helper()
+		var out []string
+		for i := 0; i < 20; i++ {
+			res, err := c.Execute("RETURN rand() AS r")
+			switch {
+			case err != nil:
+				out = append(out, "err:"+err.Error())
+			default:
+				out = append(out, res.Rows[0][0].String())
+			}
+		}
+		return out
+	}
+	fresh, err := connect(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reusedC, err := connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain some of shard 0's streams, then re-seed for shard 7.
+	outcomes(reusedC)
+	reusedC.(*reusable).SeedShard(7)
+	want, got := outcomes(fresh), outcomes(reusedC)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("call %d: fresh instance got %s, reused instance got %s", i, want[i], got[i])
+		}
 	}
 }
 

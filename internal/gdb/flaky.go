@@ -114,18 +114,23 @@ func (f *Flaky) Reset(g *graph.Graph, schema *graph.Schema) error {
 	return f.inner.Reset(g, schema)
 }
 
-// Execute implements Connector.
-func (f *Flaky) Execute(query string) (*engine.Result, error) {
-	return f.ExecuteCtx(context.Background(), query)
+// reseed restarts the injector's deterministic failure stream from a new
+// seed, so a reused wrapper behaves byte-identically to a freshly
+// constructed one — the per-shard connector-reuse contract.
+func (f *Flaky) reseed(seed int64) {
+	f.cfg.Seed = seed
+	f.r = rand.New(rand.NewSource(seed))
+	f.dropped = false
 }
 
-// ExecuteCtx implements Connector: the injected failure happens before
-// the inner connector sees the query (the connection dropped in flight),
-// which keeps the inner engine's state independent of the injection.
-func (f *Flaky) ExecuteCtx(ctx context.Context, query string) (*engine.Result, error) {
+// inject decides whether this call fails before reaching the inner
+// connector (the connection dropped in flight) and otherwise applies the
+// configured latency; both paths keep the inner engine's state
+// independent of the injection.
+func (f *Flaky) inject(ctx context.Context) error {
 	if f.cfg.ErrorRate > 0 && f.r.Float64() < f.cfg.ErrorRate {
 		f.dropped = true
-		return nil, &TransientError{Reason: f.nextReason()}
+		return &TransientError{Reason: f.nextReason()}
 	}
 	f.dropped = false
 	if f.cfg.Latency > 0 {
@@ -134,8 +139,32 @@ func (f *Flaky) ExecuteCtx(ctx context.Context, query string) (*engine.Result, e
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
-			return nil, engine.ErrCanceled
+			return engine.ErrCanceled
 		}
 	}
+	return nil
+}
+
+// Execute implements Connector.
+func (f *Flaky) Execute(query string) (*engine.Result, error) {
+	return f.ExecuteCtx(context.Background(), query)
+}
+
+// ExecuteCtx implements Connector: the injected failure happens before
+// the inner connector sees the query.
+func (f *Flaky) ExecuteCtx(ctx context.Context, query string) (*engine.Result, error) {
+	if err := f.inject(ctx); err != nil {
+		return nil, err
+	}
 	return f.inner.ExecuteCtx(ctx, query)
+}
+
+// ExecutePrepared implements Connector with the same injection policy as
+// ExecuteCtx: one RNG draw per call, so a campaign sees the identical
+// injected-failure sequence whichever execution path the runner takes.
+func (f *Flaky) ExecutePrepared(ctx context.Context, pq *engine.PreparedQuery) (*engine.Result, error) {
+	if err := f.inject(ctx); err != nil {
+		return nil, err
+	}
+	return f.inner.ExecutePrepared(ctx, pq)
 }

@@ -13,7 +13,6 @@ import (
 	"gqs/internal/engine"
 	"gqs/internal/faults"
 	"gqs/internal/graph"
-	"gqs/internal/metrics"
 )
 
 // Connector is the driver interface a GDB under test exposes, mirroring
@@ -28,6 +27,13 @@ type Connector interface {
 	// can cancel it; implementations must return (engine.ErrCanceled or
 	// the in-flight fault's error) promptly after cancellation.
 	ExecuteCtx(ctx context.Context, query string) (*engine.Result, error)
+	// ExecutePrepared runs an already parsed-and-analyzed query — the
+	// prepared execution path that removes the per-target parse tax. The
+	// PreparedQuery is shared: implementations must treat its AST and
+	// Features as read-only, and may run it concurrently with other
+	// connectors executing the same value. Behaviour is otherwise
+	// identical to ExecuteCtx(ctx, pq.Text).
+	ExecutePrepared(ctx context.Context, pq *engine.PreparedQuery) (*engine.Result, error)
 	// RelUniqueness reports whether the dialect enforces relationship
 	// uniqueness (§4: FalkorDB and Kùzu deviate).
 	RelUniqueness() bool
@@ -200,16 +206,36 @@ func (s *Sim) Execute(query string) (*engine.Result, error) {
 	return s.ExecuteCtx(context.Background(), query)
 }
 
-// ExecuteCtx implements Connector. The triggered bug is recorded before
-// it manifests, so attribution survives a live crash panicking out of
-// this call or a live hang being canceled by the watchdog.
+// ExecuteCtx implements Connector as a compatibility wrapper over the
+// prepared path: it prepares (one parse + one analysis) and delegates to
+// ExecutePrepared, so text callers and prepared callers take the same
+// fault-catalog path and see identical behaviour.
 func (s *Sim) ExecuteCtx(ctx context.Context, query string) (*engine.Result, error) {
+	pq, err := engine.Prepare(query)
+	if err != nil {
+		// Unparseable text fails exactly as the engine's own parse would
+		// (same parser, same error). Features are nil for such queries, so
+		// no catalog fault can trigger — mirror that here.
+		if s.closed {
+			return nil, fmt.Errorf("%s: connector is closed", s.name)
+		}
+		s.lastBug = nil
+		return nil, err
+	}
+	return s.ExecutePrepared(ctx, pq)
+}
+
+// ExecutePrepared implements Connector. The triggered bug is selected on
+// the precomputed feature vector and recorded before it manifests, so
+// attribution survives a live crash panicking out of this call or a live
+// hang being canceled by the watchdog.
+func (s *Sim) ExecutePrepared(ctx context.Context, pq *engine.PreparedQuery) (*engine.Result, error) {
 	if s.closed {
 		return nil, fmt.Errorf("%s: connector is closed", s.name)
 	}
 	s.lastBug = nil
-	f := metrics.Analyze(query)
-	res, err := s.eng.ExecuteCtx(ctx, query)
+	f := pq.Features
+	res, err := s.eng.ExecutePrepared(ctx, pq)
 	bug := s.bugs.Select(f, err)
 	s.lastBug = bug
 	if bug == nil {

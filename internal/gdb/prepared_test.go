@@ -1,0 +1,144 @@
+package gdb
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gqs/internal/core"
+	"gqs/internal/engine"
+	"gqs/internal/graph"
+	"gqs/internal/metrics"
+)
+
+// corpus generates a graph and synthesizes n query texts over it — the
+// same queries a campaign would feed the oracle, so the prepared-path
+// tests exercise real planner rewrites (traversal reversal, aggregate
+// substitution) rather than hand-picked shapes.
+func corpus(t *testing.T, seed int64, n int) (*graph.Graph, *graph.Schema, []string) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 12, MaxRels: 40})
+	syn := core.NewSynthesizer(r, g, schema, core.DefaultConfig())
+	var out []string
+	for tries := 0; len(out) < n && tries < 50*n; tries++ {
+		gt := core.SelectGroundTruth(r, g, 6)
+		sq, err := syn.Synthesize(gt)
+		if err != nil {
+			continue
+		}
+		out = append(out, sq.Text)
+	}
+	if len(out) < n {
+		t.Fatalf("synthesized only %d/%d queries", len(out), n)
+	}
+	return g, schema, out
+}
+
+// fiveDialects returns the four simulated GDBs plus the reference — the
+// five dialects one PreparedQuery must be shareable across.
+func fiveDialects() []*Sim {
+	return append(All(), NewReference())
+}
+
+// TestPreparedASTImmutableAcrossDialects pins the tentpole invariant:
+// one PreparedQuery executed concurrently on all five dialects leaves
+// its AST byte-identical and produces, per dialect, exactly the result
+// the sequential text path produces. Run under -race this also proves no
+// execution writes to the shared tree.
+func TestPreparedASTImmutableAcrossDialects(t *testing.T) {
+	g, schema, texts := corpus(t, 77, 12)
+
+	textConns, prepConns := fiveDialects(), fiveDialects()
+	for _, c := range append(append([]*Sim{}, textConns...), prepConns...) {
+		if err := c.Reset(g, schema); err != nil {
+			t.Fatalf("reset %s: %v", c.Name(), err)
+		}
+	}
+
+	for _, text := range texts {
+		pq, err := engine.Prepare(text)
+		if err != nil {
+			t.Fatalf("prepare %q: %v", text, err)
+		}
+		before := pq.AST.String()
+
+		// Sequential text path: the per-dialect expectation. Both
+		// connector sets execute the same queries in the same order, so
+		// their execution-scoped rand()/timestamp() streams line up.
+		type outcome struct {
+			res *engine.Result
+			err error
+		}
+		want := make([]outcome, len(textConns))
+		for i, c := range textConns {
+			res, err := c.ExecuteCtx(context.Background(), text)
+			want[i] = outcome{res, err}
+		}
+
+		// Concurrent prepared path: every dialect runs the same shared
+		// PreparedQuery at once.
+		got := make([]outcome, len(prepConns))
+		var wg sync.WaitGroup
+		for i, c := range prepConns {
+			wg.Add(1)
+			go func(i int, c *Sim) {
+				defer wg.Done()
+				res, err := c.ExecutePrepared(context.Background(), pq)
+				got[i] = outcome{res, err}
+			}(i, c)
+		}
+		wg.Wait()
+
+		for i := range want {
+			name := textConns[i].Name()
+			switch {
+			case (want[i].err == nil) != (got[i].err == nil):
+				t.Fatalf("%s: %q: text err=%v, prepared err=%v", name, text, want[i].err, got[i].err)
+			case want[i].err != nil:
+				if want[i].err.Error() != got[i].err.Error() {
+					t.Fatalf("%s: %q: text err=%v, prepared err=%v", name, text, want[i].err, got[i].err)
+				}
+			case !want[i].res.Equal(got[i].res):
+				t.Fatalf("%s: %q: prepared result diverged from text path\ntext: %v\nprepared: %v",
+					name, text, want[i].res, got[i].res)
+			}
+		}
+
+		if after := pq.AST.String(); after != before {
+			t.Fatalf("AST mutated by execution of %q:\nbefore: %s\nafter:  %s", text, before, after)
+		}
+	}
+}
+
+// TestPreparedFeaturesMatchTextAnalysis is the feature-identity
+// regression test: the vector Prepare computes (and fault selection on
+// every target consumes) must equal what the text path's
+// metrics.Analyze computed, field for field, and both must select the
+// same catalog bug on every simulated GDB. Prepare re-parses the printed
+// text precisely to keep this equality — analyzing the synthesizer's own
+// tree diverges on shapes the parser normalizes (e.g. negative literals
+// fold from Unary(Neg, Lit) into one Literal, changing expression depth).
+func TestPreparedFeaturesMatchTextAnalysis(t *testing.T) {
+	_, _, texts := corpus(t, 123, 150)
+	sims := fiveDialects()
+	for _, text := range texts {
+		pq, err := engine.Prepare(text)
+		if err != nil {
+			t.Fatalf("prepare %q: %v", text, err)
+		}
+		ta := metrics.Analyze(text)
+		if !reflect.DeepEqual(pq.Features, ta) {
+			t.Fatalf("feature vector diverged for %q:\nprepared: %+v\ntext:     %+v", text, pq.Features, ta)
+		}
+		for _, sim := range sims {
+			bp := sim.bugs.Select(pq.Features, nil)
+			bt := sim.bugs.Select(ta, nil)
+			if bp != bt {
+				t.Fatalf("%s: fault selection diverged for %q: prepared=%v text=%v", sim.Name(), text, bp, bt)
+			}
+		}
+	}
+}
