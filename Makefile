@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-regress bench-go verify smoke
+.PHONY: build test vet race bench bench-regress bench-go profile verify smoke
 
 build:
 	$(GO) build ./...
@@ -15,24 +15,31 @@ race:
 	$(GO) test -race ./...
 
 # Sharded-executor throughput bench: the same fixed-seed campaign at 1
-# worker and at GOMAXPROCS workers, plus the prepared-vs-text parse-share
-# micro-comparison; writes BENCH_pr4.json and fails if the two campaign
-# runs report different bug sets.
+# worker and at >=2 workers (GOMAXPROCS forced to >=2 for the parallel
+# leg), plus the prepared-vs-text parse-share micro-comparison and the
+# COW-vs-clone snapshot-reset micro-comparison; writes BENCH_pr5.json
+# and fails if the two campaign runs report different bug sets.
 bench:
-	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr4.json
+	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr5.json
 
-# Regression gate: compares BENCH_pr4.json against every other
+# Regression gate: compares BENCH_pr5.json against every other
 # BENCH_*.json and fails on >10% parallel-throughput regression or a
 # like-for-like bug-set mismatch.
 bench-regress:
-	$(GO) run ./cmd/gqs-bench -exp bench-regress -bench-out BENCH_pr4.json
+	$(GO) run ./cmd/gqs-bench -exp bench-regress -bench-out BENCH_pr5.json
 
 # Go micro-benchmarks (the pre-existing bench target).
 bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
-# Tier-1 verification gate (see ROADMAP.md).
-verify: build vet test race
+# CPU + heap profiles of the fixed-seed campaign; inspect with
+# `go tool pprof cpu.out` / `go tool pprof mem.out`.
+profile:
+	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -cpuprofile cpu.out -memprofile mem.out
+
+# Tier-1 verification gate (see ROADMAP.md), plus the perf-regression
+# gate over the recorded BENCH_*.json history.
+verify: build vet test race bench-regress
 
 # Short resilient-campaign smoke under the race detector: live faults,
 # flaky connection, watchdog timeouts — the hardened-runner acceptance.

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gqs/internal/experiments"
@@ -26,10 +28,40 @@ func main() {
 		n          = flag.Int("n", 2000, "queries per tester for table5 (paper: 10000)")
 		rounds     = flag.Int("rounds", 400, "oracle rounds per tester per GDB for table6/fig18")
 		workers    = flag.Int("workers", 0, "worker-pool size for -exp bench (0 = GOMAXPROCS)")
-		benchOut   = flag.String("bench-out", "", "write the -exp bench result to this JSON file; for -exp bench-regress, the current result to gate (default BENCH_pr4.json)")
+		benchOut   = flag.String("bench-out", "", "write the -exp bench result to this JSON file; for -exp bench-regress, the current result to gate (default BENCH_pr5.json)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the selected experiments) to this file")
 	)
 	flag.Parse()
 	w := os.Stdout
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gqs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gqs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gqs-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gqs-bench: %v\n", err)
+			}
+		}()
+	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
@@ -133,7 +165,7 @@ func main() {
 	if *exp == "bench-regress" {
 		cur := *benchOut
 		if cur == "" {
-			cur = "BENCH_pr4.json"
+			cur = "BENCH_pr5.json"
 		}
 		all, err := filepath.Glob("BENCH_*.json")
 		if err != nil {

@@ -87,6 +87,20 @@ func (db *DB) ExecutePrepared(pq *PreparedQuery) (*Result, error) {
 // unchanged.
 type PreparedTarget = core.PreparedTarget
 
+// SnapshotTarget is the optional copy-on-write restart extension of
+// Target: connectors that implement it share one immutable sealed
+// snapshot of each generated graph across every restart of an
+// iteration, so restoring state between oracle checks is O(1) for
+// read-only workloads and O(entries written) otherwise. Behaviour must
+// be indistinguishable from Reset with the same graph; the bundled
+// simulated GDBs implement it, and targets without it keep the
+// deep-clone Reset path.
+type SnapshotTarget = core.SnapshotTarget
+
+// Snapshot is an immutable, shareable view of one graph state; see
+// SnapshotTarget and DESIGN.md §9.
+type Snapshot = graph.Snapshot
+
 // Value is a Cypher runtime value.
 type Value = value.Value
 

@@ -333,7 +333,12 @@ func (s *Synthesizer) randomScalarExpr(depth int) ast.Expr {
 }
 
 func (s *Synthesizer) tryRandomExpr(depth int) ast.Expr {
-	vars := s.tracker.Vars()
+	// The in-scope variables are invariant across the whole recursive
+	// build, so compute them once here rather than per level.
+	return s.tryRandomExprVars(s.tracker.Vars(), depth)
+}
+
+func (s *Synthesizer) tryRandomExprVars(vars []string, depth int) ast.Expr {
 	if depth <= 0 || len(vars) == 0 || s.r.Intn(3) == 0 {
 		// Leaf: literal or a property access on an element variable.
 		if len(vars) > 0 && s.r.Intn(2) == 0 {
@@ -349,15 +354,15 @@ func (s *Synthesizer) tryRandomExpr(depth int) ast.Expr {
 	}
 	switch s.r.Intn(5) {
 	case 0:
-		return ast.Bin(ast.OpAdd, s.tryRandomExpr(depth-1), ast.Lit(value.Int(int64(s.r.Intn(100)))))
+		return ast.Bin(ast.OpAdd, s.tryRandomExprVars(vars, depth-1), ast.Lit(value.Int(int64(s.r.Intn(100)))))
 	case 1:
-		return ast.Bin(ast.OpNeq, s.tryRandomExpr(depth-1), s.tryRandomExpr(depth-1))
+		return ast.Bin(ast.OpNeq, s.tryRandomExprVars(vars, depth-1), s.tryRandomExprVars(vars, depth-1))
 	case 2:
-		return &ast.FuncCall{Name: "toString", Args: []ast.Expr{s.tryRandomExpr(depth - 1)}}
+		return &ast.FuncCall{Name: "toString", Args: []ast.Expr{s.tryRandomExprVars(vars, depth - 1)}}
 	case 3:
-		return &ast.FuncCall{Name: "coalesce", Args: []ast.Expr{s.tryRandomExpr(depth - 1), randomLiteral(s.r)}}
+		return &ast.FuncCall{Name: "coalesce", Args: []ast.Expr{s.tryRandomExprVars(vars, depth - 1), randomLiteral(s.r)}}
 	default:
-		return &ast.ListLit{Elems: []ast.Expr{s.tryRandomExpr(depth - 1)}}
+		return &ast.ListLit{Elems: []ast.Expr{s.tryRandomExprVars(vars, depth - 1)}}
 	}
 }
 
@@ -414,8 +419,11 @@ func sortStrings(xs []string) {
 // (e.g. Figure 1's `n5.k2 <= -881779936`). The candidate is verified
 // against the tracker; on failure a literal `true` is used.
 func (s *Synthesizer) truePredicate(depth int) ast.Expr {
+	// The constant-variable set does not change between retries; compute
+	// it once for all four candidates.
+	vars := s.tracker.ConstantVarNames()
 	for try := 0; try < 4; try++ {
-		e := s.candidateTruePredicate(depth)
+		e := s.candidateTruePredicate(vars, depth)
 		if e == nil {
 			continue
 		}
@@ -426,14 +434,7 @@ func (s *Synthesizer) truePredicate(depth int) ast.Expr {
 	return ast.Lit(value.True)
 }
 
-func (s *Synthesizer) candidateTruePredicate(depth int) ast.Expr {
-	consts := s.tracker.ConstantVars()
-	var vars []string
-	for _, v := range s.tracker.Vars() {
-		if consts[v] {
-			vars = append(vars, v)
-		}
-	}
+func (s *Synthesizer) candidateTruePredicate(vars []string, depth int) ast.Expr {
 	if len(vars) == 0 {
 		return ast.Lit(value.True)
 	}

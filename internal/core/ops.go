@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"gqs/internal/graph"
 )
@@ -76,6 +77,33 @@ func ClauseOf(k OpKind) ClauseKind {
 	}
 }
 
+// seqName renders the sequential nN/rN/aN variable names of plan and
+// synthesis. Every query draws from the same first few dozen indices, so
+// those come from a precomputed table instead of fmt.
+const seqNameCached = 48
+
+var seqNameTab = func() (t struct{ n, r, a [seqNameCached]string }) {
+	for i := 0; i < seqNameCached; i++ {
+		d := strconv.Itoa(i)
+		t.n[i], t.r[i], t.a[i] = "n"+d, "r"+d, "a"+d
+	}
+	return
+}()
+
+func seqName(prefix byte, i int) string {
+	if i >= 0 && i < seqNameCached {
+		switch prefix {
+		case 'n':
+			return seqNameTab.n[i]
+		case 'r':
+			return seqNameTab.r[i]
+		case 'a':
+			return seqNameTab.a[i]
+		}
+	}
+	return string(prefix) + strconv.Itoa(i)
+}
+
 // Operation is one node of the scheduling DAG.
 type Operation struct {
 	Kind OpKind
@@ -93,8 +121,14 @@ type Operation struct {
 	Essential bool
 
 	// strong and weak outgoing constraint edges (this ≺ other, this ⪯ other).
+	// Most operations carry only one or two edges, so the slices start
+	// out backed by the inline buffers below and only touch the heap
+	// when an operation accumulates more constraints than that.
 	strong []*Operation
 	weak   []*Operation
+
+	strongBuf [2]*Operation
+	weakBuf   [2]*Operation
 }
 
 func (o *Operation) String() string {
@@ -129,8 +163,18 @@ func elemVarLabel(o *Operation) string {
 func (o *Operation) Clause() ClauseKind { return ClauseOf(o.Kind) }
 
 // Before records a strong constraint o ≺ other.
-func (o *Operation) Before(other *Operation) { o.strong = append(o.strong, other) }
+func (o *Operation) Before(other *Operation) {
+	if o.strong == nil {
+		o.strong = o.strongBuf[:0]
+	}
+	o.strong = append(o.strong, other)
+}
 
 // WeakBefore records a weak constraint o ⪯ other: other may be scheduled
 // in the same step or later (§3.3).
-func (o *Operation) WeakBefore(other *Operation) { o.weak = append(o.weak, other) }
+func (o *Operation) WeakBefore(other *Operation) {
+	if o.weak == nil {
+		o.weak = o.weakBuf[:0]
+	}
+	o.weak = append(o.weak, other)
+}

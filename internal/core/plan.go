@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
 
@@ -49,7 +48,7 @@ type Plan struct {
 
 // nextAlias returns a fresh aN alias name.
 func (p *Plan) nextAlias() string {
-	a := fmt.Sprintf("a%d", p.aliasSeq)
+	a := seqName('a', p.aliasSeq)
 	p.aliasSeq++
 	return a
 }
@@ -116,10 +115,10 @@ func BuildPlan(r *rand.Rand, g *graph.Graph, gt *GroundTruth, cfg PlanConfig) *P
 		}
 		var v string
 		if ref.isRel {
-			v = fmt.Sprintf("r%d", relSeq)
+			v = seqName('r', relSeq)
 			relSeq++
 		} else {
-			v = fmt.Sprintf("n%d", nodeSeq)
+			v = seqName('n', nodeSeq)
 			nodeSeq++
 		}
 		p.ElemVar[ref] = v

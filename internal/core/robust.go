@@ -268,6 +268,16 @@ func (rn *Runner) restartBackoff(a int) time.Duration {
 	return rn.jitter(d)
 }
 
+// resetTarget brings the target to the current graph state: the O(1)
+// copy-on-write snapshot path when the target supports it, the legacy
+// deep-copy Reset otherwise.
+func (rn *Runner) resetTarget() error {
+	if rn.snapshot != nil && rn.curSnap != nil {
+		return rn.snapshot.ResetSnapshot(rn.curSnap, rn.curSchema)
+	}
+	return rn.target.Reset(rn.curGraph, rn.curSchema)
+}
+
 // restartSequence tries to bring the target back with a fresh instance
 // of the current graph: bounded Reset attempts under exponential backoff.
 // Success closes the breaker's failure streak; a fully failed sequence
@@ -275,7 +285,7 @@ func (rn *Runner) restartBackoff(a int) time.Duration {
 func (rn *Runner) restartSequence() bool {
 	for a := 0; a < rn.rb.RestartAttempts; a++ {
 		rn.pause(rn.restartBackoff(a))
-		if err := rn.target.Reset(rn.curGraph, rn.curSchema); err == nil {
+		if err := rn.resetTarget(); err == nil {
 			rn.stats.Robust.Restarts++
 			rn.consecFails = 0
 			return true
@@ -305,7 +315,7 @@ func (rn *Runner) recoverTarget() {
 // iteration cheaply.
 func (rn *Runner) ensureUp() bool {
 	if rn.breakerOpen {
-		if err := rn.target.Reset(rn.curGraph, rn.curSchema); err != nil {
+		if err := rn.resetTarget(); err != nil {
 			rn.consecFails++
 			rn.stats.Robust.RestartFailures++
 			return false
@@ -315,7 +325,7 @@ func (rn *Runner) ensureUp() bool {
 		rn.stats.Robust.Restarts++
 		return true
 	}
-	if err := rn.target.Reset(rn.curGraph, rn.curSchema); err == nil {
+	if err := rn.resetTarget(); err == nil {
 		return true
 	}
 	return rn.restartSequence()

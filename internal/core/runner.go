@@ -39,6 +39,19 @@ type PreparedTarget interface {
 	ExecutePrepared(ctx context.Context, pq *engine.PreparedQuery) (*engine.Result, error)
 }
 
+// SnapshotTarget is the optional copy-on-write restart extension of
+// Target (the gdb connectors implement it). When a target supports it,
+// the runner seals each generated graph into one immutable
+// graph.Snapshot and every restart of the iteration — the initial load,
+// crash recovery, flaky-reset retries — shares it instead of deep-
+// copying the graph, making state restoration between oracle checks
+// O(1) for read-only workloads. Behaviour must be identical to Reset
+// with the same graph; targets without it keep the legacy path.
+type SnapshotTarget interface {
+	Target
+	ResetSnapshot(snap *graph.Snapshot, schema *graph.Schema) error
+}
+
 // Verdict classifies one executed test case.
 type Verdict int
 
@@ -133,8 +146,10 @@ type Runner struct {
 	cfg    RunnerConfig
 	target Target
 	// prepared is target's prepared-execution extension, nil when the
-	// target only speaks text.
+	// target only speaks text; snapshot is its copy-on-write restart
+	// extension, nil when the target only takes deep-copy Resets.
 	prepared PreparedTarget
+	snapshot SnapshotTarget
 	r        *rand.Rand
 	seq      int
 	stats    Stats
@@ -150,6 +165,9 @@ type Runner struct {
 	needRecover  bool // a crash/hang verdict is awaiting a restart
 	curGraph     *graph.Graph
 	curSchema    *graph.Schema
+	// curSnap is the sealed snapshot of curGraph, nil when the target has
+	// no SnapshotTarget extension.
+	curSnap *graph.Snapshot
 }
 
 // NewRunner creates a runner for the target.
@@ -168,6 +186,7 @@ func NewRunner(target Target, cfg RunnerConfig) *Runner {
 		jr:     rand.New(rand.NewSource(cfg.Seed ^ 0x6a77_3b2c_9d1e_5f48)),
 	}
 	rn.prepared, _ = target.(PreparedTarget)
+	rn.snapshot, _ = target.(SnapshotTarget)
 	return rn
 }
 
@@ -195,6 +214,15 @@ func (rn *Runner) RunIteration(report func(*TestCase)) error {
 
 	g, schema := graph.Generate(rn.r, rn.cfg.Graph)
 	rn.curGraph, rn.curSchema = g, schema
+	rn.curSnap = nil
+	if rn.snapshot != nil {
+		// One immutable snapshot per iteration: every restart below —
+		// and, campaign-wide, every other target validating the same
+		// graph — shares it instead of deep-copying the graph. Sealing
+		// leaves g fully readable for ground-truth selection and
+		// synthesis.
+		rn.curSnap = g.Seal()
+	}
 	rn.abandonGraph = false
 	if !rn.ensureUp() {
 		rn.stats.Robust.FailedIterations++

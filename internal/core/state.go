@@ -25,6 +25,11 @@ func graphPropertyKey(e elemRef, name string) graph.PropertyKey {
 type Tracker struct {
 	g    *graph.Graph
 	rows []symRow
+	// ectx is the scratch eval.Ctx reused across every expression the
+	// tracker evaluates; ctx refreshes its fields instead of allocating a
+	// context per call (the same pattern as Engine.evalCtx — evaluation
+	// never retains the pointer, and a tracker is single-threaded).
+	ectx eval.Ctx
 }
 
 type symRow struct {
@@ -83,8 +88,36 @@ func (t *Tracker) ConstantVars() map[string]bool {
 	return out
 }
 
+// ConstantVarNames returns, sorted, the variables whose value is
+// identical across all rows: Vars filtered by ConstantVars, in one pass
+// without the intermediate map.
+func (t *Tracker) ConstantVarNames() []string {
+	if len(t.rows) == 0 {
+		return nil
+	}
+	var out []string
+	for v, first := range t.rows[0].env {
+		constant := true
+		for _, r := range t.rows[1:] {
+			if !value.Equivalent(r.env[v], first) {
+				constant = false
+				break
+			}
+		}
+		if constant {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 func (t *Tracker) ctx(env map[string]value.Value) *eval.Ctx {
-	return &eval.Ctx{Graph: t.g, Env: env}
+	// Field-wise refresh: a struct literal would discard the context's
+	// internal scratch buffers along with the env.
+	t.ectx.Graph = t.g
+	t.ectx.Env = env
+	return &t.ectx
 }
 
 // Bind adds the same variable bindings to every row (a uniquified MATCH).

@@ -94,11 +94,11 @@ func (s *Synthesizer) pct(p int) bool { return s.r.Intn(100) < p }
 
 func (s *Synthesizer) freshVar(prefix string) string {
 	if prefix == "r" {
-		v := fmt.Sprintf("r%d", s.plan.RelSeq)
+		v := seqName('r', s.plan.RelSeq)
 		s.plan.RelSeq++
 		return v
 	}
-	v := fmt.Sprintf("n%d", s.plan.NodeSeq)
+	v := seqName('n', s.plan.NodeSeq)
 	s.plan.NodeSeq++
 	return v
 }

@@ -5,7 +5,11 @@
 // and a walker used by the complexity metrics of Table 5.
 package ast
 
-import "gqs/internal/value"
+import (
+	"strconv"
+
+	"gqs/internal/value"
+)
 
 // Query is a full Cypher query: one or more single queries combined with
 // UNION / UNION ALL.
@@ -433,11 +437,95 @@ func (*Parameter) node()         {}
 func (*ListComprehension) node() {}
 func (*Quantifier) node()        {}
 
-// Lit is a convenience constructor for literal expressions.
-func Lit(v value.Value) *Literal { return &Literal{Val: v} }
+// Leaf interning. Parsing and synthesis construct enormous numbers of
+// identical Variable and Literal leaves (the same few variable names and
+// small constants recur in every query). Expression trees are immutable
+// after construction — the PreparedQuery sharing contract already depends
+// on that — so identical leaves can be one shared node. Only leaf types
+// are interned, and only through lock-free precomputed tables: a shared
+// map (even sync.Map) costs more per lookup on these paths than the
+// allocation it saves. Interior nodes keep distinct identity, so walks
+// that compare an interior node against its children by pointer still
+// work.
+const (
+	internIntLo = -16
+	internIntHi = 256
+	// internVarMax bounds the per-prefix nN/rN/aN variable table; names
+	// past it simply allocate.
+	internVarMax = 64
+)
 
-// Var is a convenience constructor for variable references.
-func Var(name string) *Variable { return &Variable{Name: name} }
+var (
+	litNull  = &Literal{Val: value.Null}
+	litTrue  = &Literal{Val: value.Bool(true)}
+	litFalse = &Literal{Val: value.Bool(false)}
+	litInts  [internIntHi - internIntLo + 1]*Literal
+	// varTab holds the nN/rN/aN names every synthesized query is built
+	// from, indexed by prefix (n, r, a) and sequence number.
+	varTab [3][internVarMax]*Variable
+)
+
+func init() {
+	for i := range litInts {
+		litInts[i] = &Literal{Val: value.Int(int64(i + internIntLo))}
+	}
+	for p, c := range [3]byte{'n', 'r', 'a'} {
+		for i := range varTab[p] {
+			varTab[p][i] = &Variable{Name: string(c) + strconv.Itoa(i)}
+		}
+	}
+}
+
+// Lit is a convenience constructor for literal expressions. Null, bools,
+// and small integers return shared interned nodes.
+func Lit(v value.Value) *Literal {
+	switch v.Kind() {
+	case value.KindNull:
+		return litNull
+	case value.KindBool:
+		if v.AsBool() {
+			return litTrue
+		}
+		return litFalse
+	case value.KindInt:
+		if i := v.AsInt(); i >= internIntLo && i <= internIntHi {
+			return litInts[i-internIntLo]
+		}
+	}
+	return &Literal{Val: v}
+}
+
+// Var is a convenience constructor for variable references. The
+// canonical nN/rN/aN names of plan and synthesis return shared interned
+// nodes; anything else allocates.
+func Var(name string) *Variable {
+	if n := len(name); n >= 2 && n <= 3 && (n == 2 || name[1] != '0') {
+		p := -1
+		switch name[0] {
+		case 'n':
+			p = 0
+		case 'r':
+			p = 1
+		case 'a':
+			p = 2
+		}
+		if p >= 0 {
+			i := 0
+			for j := 1; j < n; j++ {
+				d := int(name[j]) - '0'
+				if d < 0 || d > 9 {
+					i = internVarMax
+					break
+				}
+				i = i*10 + d
+			}
+			if i < internVarMax {
+				return varTab[p][i]
+			}
+		}
+	}
+	return &Variable{Name: name}
+}
 
 // Prop is a convenience constructor for variable.property accesses.
 func Prop(varName, prop string) *PropAccess {

@@ -133,48 +133,88 @@ func (q *Query) AllClauses() []Clause {
 // Variables returns the names of the free variables referenced by the
 // expression, in first-occurrence order. Variables bound by list
 // comprehensions or quantifiers are not free within their scope.
+// It sits on hot paths (clause planning, predicate synthesis), so the
+// collector walks the tree directly with a scope stack and linear-scan
+// dedup — the variable counts involved are far too small for maps to
+// pay for themselves.
 func Variables(e Expr) []string {
-	var out []string
-	seen := map[string]bool{}
-	var walk func(x Expr, bound map[string]bool)
-	walk = func(x Expr, bound map[string]bool) {
-		switch x := x.(type) {
-		case nil:
-			return
-		case *Variable:
-			if !bound[x.Name] && !seen[x.Name] {
-				seen[x.Name] = true
-				out = append(out, x.Name)
-			}
-		case *ListComprehension:
-			walk(x.List, bound) // the list is evaluated outside the binding
-			inner := withBound(bound, x.Var)
-			walk(x.Where, inner)
-			walk(x.Map, inner)
-		case *Quantifier:
-			walk(x.List, bound)
-			walk(x.Pred, withBound(bound, x.Var))
-		default:
-			WalkExprs(x, func(child Expr) bool {
-				if child == x {
-					return true
-				}
-				walk(child, bound)
-				return false // walk recurses itself
-			})
-		}
-	}
-	walk(e, map[string]bool{})
-	return out
+	var c varCollector
+	c.walk(e)
+	return c.out
 }
 
-func withBound(bound map[string]bool, v string) map[string]bool {
-	out := make(map[string]bool, len(bound)+1)
-	for k := range bound {
-		out[k] = true
+// varCollector accumulates free variables in first-occurrence order.
+// bound is the stack of comprehension/quantifier bindings in scope.
+type varCollector struct {
+	out   []string
+	bound []string
+}
+
+func (c *varCollector) add(name string) {
+	for _, b := range c.bound {
+		if b == name {
+			return
+		}
 	}
-	out[v] = true
-	return out
+	for _, s := range c.out {
+		if s == name {
+			return
+		}
+	}
+	c.out = append(c.out, name)
+}
+
+func (c *varCollector) walk(e Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *Variable:
+		c.add(e.Name)
+	case *Literal, *Parameter:
+	case *PropAccess:
+		c.walk(e.Subject)
+	case *Binary:
+		c.walk(e.L)
+		c.walk(e.R)
+	case *Unary:
+		c.walk(e.X)
+	case *FuncCall:
+		for _, a := range e.Args {
+			c.walk(a)
+		}
+	case *ListLit:
+		for _, el := range e.Elems {
+			c.walk(el)
+		}
+	case *MapLit:
+		for _, v := range e.Vals {
+			c.walk(v)
+		}
+	case *IndexExpr:
+		c.walk(e.Subject)
+		c.walk(e.Index)
+	case *SliceExpr:
+		c.walk(e.Subject)
+		c.walk(e.From)
+		c.walk(e.To)
+	case *CaseExpr:
+		c.walk(e.Test)
+		for i := range e.Whens {
+			c.walk(e.Whens[i])
+			c.walk(e.Thens[i])
+		}
+		c.walk(e.Else)
+	case *ListComprehension:
+		c.walk(e.List) // the list is evaluated outside the binding
+		c.bound = append(c.bound, e.Var)
+		c.walk(e.Where)
+		c.walk(e.Map)
+		c.bound = c.bound[:len(c.bound)-1]
+	case *Quantifier:
+		c.walk(e.List)
+		c.bound = append(c.bound, e.Var)
+		c.walk(e.Pred)
+		c.bound = c.bound[:len(c.bound)-1]
+	}
 }
 
 // Depth returns the maximum nesting depth of the expression tree, where a

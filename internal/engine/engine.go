@@ -98,6 +98,9 @@ type Engine struct {
 	// counts executions so each derives an independent stream.
 	exec    *functions.ExecState
 	execSeq int64
+	// plans is the in-flight PreparedQuery's per-MATCH-clause analysis;
+	// nil on the text path, where execMatch analyzes clauses live.
+	plans map[*ast.MatchClause]*matchPlan
 	// ectx is the scratch eval.Ctx reused across every row of an
 	// execution; evalCtx refreshes its fields instead of allocating a new
 	// context per evaluated expression. Evaluation never retains the
@@ -129,6 +132,15 @@ func NewReference() *Engine { return New(Options{}) }
 // LoadGraph replaces the database contents with a copy of g.
 func (e *Engine) LoadGraph(g *graph.Graph, schema *graph.Schema) {
 	e.store.Reset(g, schema)
+	e.store.enforceSchema = e.opts.Dialect.EnforceSchema
+}
+
+// LoadSnapshot replaces the database contents with a copy-on-write
+// overlay over a shared immutable snapshot — O(1) when the store already
+// holds an unmodified view of the same snapshot, O(overlay) otherwise
+// (see Store.ResetSnapshot).
+func (e *Engine) LoadSnapshot(snap *graph.Snapshot, schema *graph.Schema) {
+	e.store.ResetSnapshot(snap, schema)
 	e.store.enforceSchema = e.opts.Dialect.EnforceSchema
 }
 

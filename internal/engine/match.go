@@ -19,21 +19,40 @@ func splitWhere(e ast.Expr) []conjunct {
 	if e == nil {
 		return nil
 	}
+	return appendConjuncts(nil, e)
+}
+
+// appendConjuncts accumulates the conjuncts into one growing slice
+// rather than allocating an intermediate slice per AND node.
+func appendConjuncts(dst []conjunct, e ast.Expr) []conjunct {
 	if b, ok := e.(*ast.Binary); ok && b.Op == ast.OpAnd {
-		return append(splitWhere(b.L), splitWhere(b.R)...)
+		return appendConjuncts(appendConjuncts(dst, b.L), b.R)
 	}
-	return []conjunct{{expr: e, vars: ast.Variables(e)}}
+	return append(dst, conjunct{expr: e, vars: ast.Variables(e)})
 }
 
 // execMatch runs a MATCH or OPTIONAL MATCH clause over the input rows.
 func (e *Engine) execMatch(c *ast.MatchClause, in []row) ([]row, error) {
 	var conj []conjunct
-	if e.opts.DisablePlanner {
-		if c.Where != nil {
-			conj = []conjunct{{expr: c.Where, vars: ast.Variables(c.Where)}}
+	var pvars []string
+	if p := e.plans[c]; p != nil {
+		// Prepared path: the clause analysis was done once at Prepare
+		// time and is shared read-only across every execution.
+		if e.opts.DisablePlanner {
+			conj = p.whole
+		} else {
+			conj = p.conj
 		}
+		pvars = p.vars
 	} else {
-		conj = splitWhere(c.Where)
+		if e.opts.DisablePlanner {
+			if c.Where != nil {
+				conj = []conjunct{{expr: c.Where, vars: ast.Variables(c.Where)}}
+			}
+		} else {
+			conj = splitWhere(c.Where)
+		}
+		pvars = patternVars(c.Patterns)
 	}
 	steps := 0
 	// One matcher serves every input row: its backtracking state (the
@@ -42,7 +61,7 @@ func (e *Engine) execMatch(c *ast.MatchClause, in []row) ([]row, error) {
 	// row. envExtra sizes each env clone for the bindings the patterns
 	// will add (plus the synthetic anonymous-node key), so the bind hot
 	// path never rehashes the map.
-	envExtra := len(patternVars(c.Patterns)) + 1
+	envExtra := len(pvars) + 1
 	m := &matcher{
 		engine:   e,
 		patterns: c.Patterns,
@@ -70,7 +89,7 @@ func (e *Engine) execMatch(c *ast.MatchClause, in []row) ([]row, error) {
 		}
 		if c.Optional && !matched {
 			nr := cloneRowCap(r, envExtra)
-			for _, v := range patternVars(c.Patterns) {
+			for _, v := range pvars {
 				if _, bound := r[v]; !bound {
 					nr[v] = value.Null
 				}

@@ -39,6 +39,44 @@ type PreparedQuery struct {
 	// Features is the precomputed complexity/feature analysis driving
 	// fault triggers and the Table 5 metrics. Treat as read-only.
 	Features *metrics.Features
+	// plans carries the per-MATCH-clause analysis (WHERE conjuncts and
+	// pattern variables) computed once at Prepare time. Like the AST it
+	// is immutable after Prepare returns, so concurrent executions share
+	// it without synchronization.
+	plans map[*ast.MatchClause]*matchPlan
+}
+
+// matchPlan is the execution-independent analysis of one MATCH clause:
+// everything execMatch used to recompute per execution that is in fact a
+// pure function of the AST. conj is the planner-path conjunct split,
+// whole the single-conjunct form used when the planner is disabled, and
+// vars the variables the patterns introduce. All three are read-only
+// once built.
+type matchPlan struct {
+	conj  []conjunct
+	whole []conjunct
+	vars  []string
+}
+
+// planMatches analyzes every MATCH clause of the query once. Only
+// top-level clauses are planned; execMatch falls back to live analysis
+// for any clause not in the map.
+func planMatches(q *ast.Query) map[*ast.MatchClause]*matchPlan {
+	plans := map[*ast.MatchClause]*matchPlan{}
+	for _, part := range q.Parts {
+		for _, c := range part.Clauses {
+			m, ok := c.(*ast.MatchClause)
+			if !ok {
+				continue
+			}
+			p := &matchPlan{conj: splitWhere(m.Where), vars: patternVars(m.Patterns)}
+			if m.Where != nil {
+				p.whole = []conjunct{{expr: m.Where, vars: ast.Variables(m.Where)}}
+			}
+			plans[m] = p
+		}
+	}
+	return plans
 }
 
 // Prepare parses and analyzes a query once. This is the single parse of
@@ -53,13 +91,15 @@ func Prepare(text string) (*PreparedQuery, error) {
 	h := fnv.New64a()
 	h.Write([]byte(text))
 	f.Hash = h.Sum64()
-	return &PreparedQuery{Text: text, AST: q, Features: f}, nil
+	return &PreparedQuery{Text: text, AST: q, Features: f, plans: planMatches(q)}, nil
 }
 
 // ExecutePrepared runs a prepared query, sharing its AST with any other
 // concurrent executions. Equivalent to ExecuteCtx(ctx, pq.Text) minus the
 // parse.
 func (e *Engine) ExecutePrepared(ctx context.Context, pq *PreparedQuery) (*Result, error) {
+	e.plans = pq.plans
+	defer func() { e.plans = nil }()
 	return e.ExecuteASTCtx(ctx, pq.AST)
 }
 

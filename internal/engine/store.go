@@ -12,33 +12,55 @@ package engine
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"gqs/internal/graph"
 	"gqs/internal/value"
 )
 
-// Store wraps a graph with the secondary indexes the engine maintains:
-// a label index (label -> node IDs) and the label+property indexes
-// declared by the schema, which the planner uses for index scans.
+// idSet is one delta bucket: the node IDs added to (or removed from) an
+// index entry since the last Reset.
+type idSet = map[graph.ID]struct{}
+
+// Store wraps a graph with the secondary indexes the engine maintains: a
+// label index and the label+property indexes declared by the schema,
+// which the planner uses for index scans.
+//
+// The indexes are versioned: `base` is an immutable graph.Index of the
+// loaded state — built once per legacy Reset, or shared by every store
+// loaded from the same graph.Snapshot — and the add/del maps below are
+// this store's private deltas over it. Read-only query batches never
+// touch the deltas (they stay nil), so a snapshot Reset is O(overlay)
+// and a read-only one is O(1) with zero per-element copying.
 type Store struct {
-	g         *graph.Graph
-	schema    *graph.Schema
-	labelIdx  map[string]map[graph.ID]struct{}
-	propIdx   map[graph.IndexSpec]map[string][]graph.ID // value.Key -> node IDs
-	indexable map[graph.IndexSpec]bool
+	g      *graph.Graph
+	schema *graph.Schema
+	// base is never mutated; see the package comment above. labelAdd/
+	// labelDel and propAdd/propDel are allocated lazily on first write.
+	base     *graph.Index
+	labelAdd map[string]idSet
+	labelDel map[string]idSet
+	propAdd  map[graph.IndexSpec]map[string]idSet
+	propDel  map[graph.IndexSpec]map[string]idSet
 	// enforceSchema rejects property writes that deviate from the
 	// declared property types (Kùzu-style schema-first behaviour).
 	enforceSchema bool
-	// src is the source graph of the last Reset and dirty marks any write
-	// through the store since then. A Reset with the same source and a
-	// clean store is the restart-without-change pattern (a recovery
-	// restart mid-iteration, a read-only query batch) and skips the deep
-	// clone and index rebuild. Every mutation MUST go through a store
-	// method so the flag stays truthful — which is also the store's
-	// documented ownership contract for Graph().
+	// src/snap identify what the store was last Reset onto (exactly one
+	// is non-nil) and dirty marks any write through the store since. A
+	// Reset with the same source and a clean store is the
+	// restart-without-change pattern and is free; a dirty snapshot store
+	// just drops its overlay. Every mutation MUST go through a store
+	// method so the flag — and, under copy-on-write, the shared base
+	// snapshot itself — stays truthful; that is the store's documented
+	// ownership contract for Graph().
 	src   *graph.Graph
+	snap  *graph.Snapshot
 	dirty bool
+	// cow accumulates the graph's copy-on-write counters across Reset
+	// cycles (ResetToBase clears the per-graph counters) for the bench
+	// harness.
+	cow graph.COWStats
 }
 
 // NewStore returns a store over an empty graph.
@@ -48,31 +70,71 @@ func NewStore() *Store {
 	return s
 }
 
-// Reset replaces the store contents with a deep copy of g, rebuilding all
-// indexes. A nil schema declares no property indexes. When the store
-// already holds an unmodified copy of exactly this graph and schema, the
-// clone and rebuild are skipped — the contents are byte-identical either
-// way.
+// Reset replaces the store contents with a deep copy of g, rebuilding
+// all indexes — the legacy clone path, retained for arbitrary source
+// graphs and as the reference semantics the copy-on-write path is
+// differentially tested against. A nil schema declares no property
+// indexes. When the store already holds an unmodified copy of exactly
+// this graph and schema, the clone and rebuild are skipped — the
+// contents are byte-identical either way.
 func (s *Store) Reset(g *graph.Graph, schema *graph.Schema) {
 	if !s.dirty && s.src == g && s.schema == schema && s.src != nil {
 		return
 	}
+	s.collectCOW()
 	s.g = g.Clone()
-	s.src = g
+	s.src, s.snap = g, nil
 	s.dirty = false
 	s.schema = schema
-	s.labelIdx = make(map[string]map[graph.ID]struct{})
-	s.propIdx = make(map[graph.IndexSpec]map[string][]graph.ID)
-	s.indexable = make(map[graph.IndexSpec]bool)
-	if schema != nil {
-		for _, idx := range schema.Indexes {
-			s.indexable[idx] = true
-			s.propIdx[idx] = make(map[string][]graph.ID)
+	s.base = graph.BuildIndex(s.g.NodeIDs(), s.g.Node, schema)
+	s.clearDeltas()
+}
+
+// ResetSnapshot loads the store from a shared immutable snapshot — the
+// copy-on-write fast path. Loading the snapshot the store already holds
+// drops the overlay and the index deltas (O(overlay), and a clean store
+// returns immediately with no work at all); loading a different snapshot
+// swaps in an O(1) overlay graph plus the snapshot's cached index, which
+// is built once and shared by every store on the same snapshot+schema.
+func (s *Store) ResetSnapshot(snap *graph.Snapshot, schema *graph.Schema) {
+	if s.snap == snap && s.schema == schema {
+		if !s.dirty {
+			return
 		}
+		s.collectCOW()
+		s.g.ResetToBase()
+		s.dirty = false
+		s.clearDeltas()
+		return
 	}
-	for _, id := range s.g.NodeIDs() {
-		s.indexNode(s.g.Node(id))
+	s.collectCOW()
+	s.g = graph.FromSnapshot(snap)
+	s.snap, s.src = snap, nil
+	s.dirty = false
+	s.schema = schema
+	s.base = snap.Index(schema)
+	s.clearDeltas()
+}
+
+// collectCOW books the current graph's copy-on-write counters before the
+// graph is replaced or reset.
+func (s *Store) collectCOW() {
+	if s.g != nil {
+		s.cow = s.cow.Add(s.g.COW())
 	}
+}
+
+// COWCopies returns the accumulated copy-on-write promotion counts
+// across every state the store has held, including the current one.
+func (s *Store) COWCopies() graph.COWStats {
+	if s.g != nil {
+		return s.cow.Add(s.g.COW())
+	}
+	return s.cow
+}
+
+func (s *Store) clearDeltas() {
+	s.labelAdd, s.labelDel, s.propAdd, s.propDel = nil, nil, nil, nil
 }
 
 // Graph exposes the underlying graph (owned by the store; callers must
@@ -82,75 +144,167 @@ func (s *Store) Graph() *graph.Graph { return s.g }
 // Schema returns the schema the store was loaded with, or nil.
 func (s *Store) Schema() *graph.Schema { return s.schema }
 
+// deltaAdd inserts id into the (lazily allocated) bucket for key.
+func deltaAdd(m *map[string]idSet, key string, id graph.ID) {
+	if *m == nil {
+		*m = make(map[string]idSet)
+	}
+	set := (*m)[key]
+	if set == nil {
+		set = make(idSet)
+		(*m)[key] = set
+	}
+	set[id] = struct{}{}
+}
+
+// deltaDel removes id from the bucket for key, if present.
+func deltaDel(m map[string]idSet, key string, id graph.ID) {
+	if set := m[key]; set != nil {
+		delete(set, id)
+	}
+}
+
+func propDeltaAdd(m *map[graph.IndexSpec]map[string]idSet, spec graph.IndexSpec, key string, id graph.ID) {
+	if *m == nil {
+		*m = make(map[graph.IndexSpec]map[string]idSet)
+	}
+	byKey := (*m)[spec]
+	if byKey == nil {
+		byKey = make(map[string]idSet)
+		(*m)[spec] = byKey
+	}
+	set := byKey[key]
+	if set == nil {
+		set = make(idSet)
+		byKey[key] = set
+	}
+	set[id] = struct{}{}
+}
+
+func propDeltaDel(m map[graph.IndexSpec]map[string]idSet, spec graph.IndexSpec, key string, id graph.ID) {
+	if byKey := m[spec]; byKey != nil {
+		if set := byKey[key]; set != nil {
+			delete(set, id)
+		}
+	}
+}
+
+// indexNode records the node's labels and indexed properties in the
+// delta sets: membership already present in the immutable base cancels a
+// pending deletion instead of duplicating the entry.
 func (s *Store) indexNode(n *graph.Node) {
 	for _, l := range n.Labels {
-		set := s.labelIdx[l]
-		if set == nil {
-			set = make(map[graph.ID]struct{})
-			s.labelIdx[l] = set
+		if s.base.HasLabelID(l, n.ID) {
+			deltaDel(s.labelDel, l, n.ID)
+		} else {
+			deltaAdd(&s.labelAdd, l, n.ID)
 		}
-		set[n.ID] = struct{}{}
-		for spec := range s.indexable {
-			if spec.Label != l {
-				continue
-			}
-			if v, ok := n.Props[spec.Property]; ok {
-				k := v.Key()
-				s.propIdx[spec][k] = append(s.propIdx[spec][k], n.ID)
-			}
+	}
+	for _, spec := range s.base.Specs() {
+		if !n.HasLabel(spec.Label) {
+			continue
+		}
+		v, ok := n.Props[spec.Property]
+		if !ok {
+			continue
+		}
+		k := v.Key()
+		if s.base.HasPropID(spec, k, n.ID) {
+			propDeltaDel(s.propDel, spec, k, n.ID)
+		} else {
+			propDeltaAdd(&s.propAdd, spec, k, n.ID)
 		}
 	}
 }
 
+// unindexNode is the inverse of indexNode: base membership becomes a
+// pending deletion, overlay-only membership is dropped.
 func (s *Store) unindexNode(n *graph.Node) {
 	for _, l := range n.Labels {
-		delete(s.labelIdx[l], n.ID)
-		for spec := range s.indexable {
-			if spec.Label != l {
-				continue
-			}
-			if v, ok := n.Props[spec.Property]; ok {
-				s.propIdx[spec][v.Key()] = removeGID(s.propIdx[spec][v.Key()], n.ID)
-			}
+		if s.base.HasLabelID(l, n.ID) {
+			deltaAdd(&s.labelDel, l, n.ID)
+		} else {
+			deltaDel(s.labelAdd, l, n.ID)
+		}
+	}
+	for _, spec := range s.base.Specs() {
+		if !n.HasLabel(spec.Label) {
+			continue
+		}
+		v, ok := n.Props[spec.Property]
+		if !ok {
+			continue
+		}
+		k := v.Key()
+		if s.base.HasPropID(spec, k, n.ID) {
+			propDeltaAdd(&s.propDel, spec, k, n.ID)
+		} else {
+			propDeltaDel(s.propAdd, spec, k, n.ID)
 		}
 	}
 }
 
-func removeGID(ids []graph.ID, id graph.ID) []graph.ID {
-	for i, x := range ids {
-		if x == id {
-			return append(ids[:i], ids[i+1:]...)
+// mergeDeltas folds add/del sets into a base index slice, re-sorting
+// because added IDs (from AddLabels / SET on pre-existing nodes) can
+// fall anywhere in the ID range.
+func mergeDeltas(base []graph.ID, add, del idSet) []graph.ID {
+	ids := make([]graph.ID, 0, len(base)+len(add))
+	for _, id := range base {
+		if _, dead := del[id]; !dead {
+			ids = append(ids, id)
 		}
 	}
+	for id := range add {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
 	return ids
 }
 
 // NodesByLabel returns the IDs of nodes carrying the label, ascending.
+//
+// Aliasing contract: when the store has no pending label deltas the
+// returned slice IS the shared immutable base-index slice — callers must
+// treat it as read-only (the planner and matcher only iterate it; scans
+// that reverse it copy first, see matcher.maybeReverse). The slice stays
+// valid and unchanged even if the store is written afterwards, because
+// writes land in the delta sets, never in base slices.
 func (s *Store) NodesByLabel(label string) []graph.ID {
-	set := s.labelIdx[label]
-	ids := make([]graph.ID, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
+	base := s.base.Label(label)
+	add, del := s.labelAdd[label], s.labelDel[label]
+	if len(add) == 0 && len(del) == 0 {
+		return base
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return mergeDeltas(base, add, del)
 }
 
 // NodesByIndex returns node IDs from the label+property index for an
-// exact value, and whether such an index exists.
+// exact value, ascending, and whether such an index exists. The same
+// aliasing contract as NodesByLabel applies: the slice may be shared
+// with the immutable base index and must not be modified.
 func (s *Store) NodesByIndex(label, prop string, v value.Value) ([]graph.ID, bool) {
-	idx, ok := s.propIdx[graph.IndexSpec{Label: label, Property: prop}]
-	if !ok {
+	spec := graph.IndexSpec{Label: label, Property: prop}
+	if !s.base.PropDeclared(spec) {
 		return nil, false
 	}
-	ids := append([]graph.ID(nil), idx[v.Key()]...)
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids, true
+	k := v.Key()
+	base := s.base.Prop(spec, k)
+	var add, del idSet
+	if byKey := s.propAdd[spec]; byKey != nil {
+		add = byKey[k]
+	}
+	if byKey := s.propDel[spec]; byKey != nil {
+		del = byKey[k]
+	}
+	if len(add) == 0 && len(del) == 0 {
+		return base, true
+	}
+	return mergeDeltas(base, add, del), true
 }
 
 // HasIndex reports whether a label+property index exists.
 func (s *Store) HasIndex(label, prop string) bool {
-	return s.indexable[graph.IndexSpec{Label: label, Property: prop}]
+	return s.base.PropDeclared(graph.IndexSpec{Label: label, Property: prop})
 }
 
 // CreateNode creates a node with the given labels and properties.
@@ -213,14 +367,16 @@ func (s *Store) CheckPropType(name string, v value.Value) error {
 }
 
 // SetProp sets (or, for a null value, removes) a property on an entity,
-// maintaining the property indexes.
+// maintaining the property indexes. The entity is promoted into the
+// overlay (MutableNode/MutableRel) before the write, so a shared base
+// snapshot never observes it.
 func (s *Store) SetProp(id graph.ID, isRel bool, name string, v value.Value) error {
 	if err := s.CheckPropType(name, v); err != nil {
 		return err
 	}
 	s.dirty = true
 	if isRel {
-		r := s.g.Rel(id)
+		r := s.g.MutableRel(id)
 		if r == nil {
 			return fmt.Errorf("relationship %d does not exist", id)
 		}
@@ -236,6 +392,7 @@ func (s *Store) SetProp(id graph.ID, isRel bool, name string, v value.Value) err
 		return fmt.Errorf("node %d does not exist", id)
 	}
 	s.unindexNode(n)
+	n = s.g.MutableNode(id)
 	if v.IsNull() {
 		delete(n.Props, name)
 	} else {
@@ -253,6 +410,7 @@ func (s *Store) AddLabels(id graph.ID, labels []string) error {
 	}
 	s.dirty = true
 	s.unindexNode(n)
+	n = s.g.MutableNode(id)
 	for _, l := range labels {
 		if !n.HasLabel(l) {
 			n.Labels = append(n.Labels, l)
@@ -270,6 +428,7 @@ func (s *Store) RemoveLabels(id graph.ID, labels []string) error {
 	}
 	s.dirty = true
 	s.unindexNode(n)
+	n = s.g.MutableNode(id)
 	for _, l := range labels {
 		for i, x := range n.Labels {
 			if x == l {
@@ -303,11 +462,26 @@ func (s *Store) DeleteRel(id graph.ID) {
 	s.g.DeleteRel(id)
 }
 
-// Labels returns all labels present in the store, sorted.
+// Labels returns all labels present in the store, sorted. With no
+// pending deltas this is the shared base-index slice (read-only, like
+// NodesByLabel).
 func (s *Store) Labels() []string {
+	if len(s.labelAdd) == 0 && len(s.labelDel) == 0 {
+		return s.base.Labels()
+	}
+	counts := make(map[string]int)
+	for _, l := range s.base.Labels() {
+		counts[l] = len(s.base.Label(l))
+	}
+	for l, add := range s.labelAdd {
+		counts[l] += len(add)
+	}
+	for l, del := range s.labelDel {
+		counts[l] -= len(del)
+	}
 	var out []string
-	for l, set := range s.labelIdx {
-		if len(set) > 0 {
+	for l, c := range counts {
+		if c > 0 {
 			out = append(out, l)
 		}
 	}

@@ -37,9 +37,21 @@ type BenchResult struct {
 	ParallelSeconds float64 `json:"parallel_seconds"`
 	ParallelIterSec float64 `json:"parallel_iterations_per_sec"`
 
+	// ParallelGOMAXPROCS is the GOMAXPROCS the parallel leg ran under;
+	// it is forced to at least 2 so the sharded executor's determinism
+	// and throughput are always exercised with real goroutine
+	// interleaving, even on single-CPU runners.
+	ParallelGOMAXPROCS int `json:"parallel_gomaxprocs,omitempty"`
+
 	Speedup          float64 `json:"speedup"`
 	Findings         int     `json:"findings"`
 	IdenticalBugSets bool    `json:"identical_bug_sets"`
+
+	// CampaignNsPerIter and CampaignAllocsPerIter are the wall-clock and
+	// heap-allocation cost of one campaign iteration on the single-worker
+	// leg — the numbers the perf-regression gate tracks across PRs.
+	CampaignNsPerIter     float64 `json:"campaign_ns_per_iteration,omitempty"`
+	CampaignAllocsPerIter float64 `json:"campaign_allocs_per_iteration,omitempty"`
 
 	// BugReportFNV is a 64-bit FNV-1a digest of the campaign's canonical
 	// bug report, so bench-regress can compare bug sets across result
@@ -50,6 +62,94 @@ type BenchResult struct {
 	// synthesized query validated on all five dialects) through the text
 	// path versus the prepared path.
 	ParseShare *ParseShareResult `json:"parse_share,omitempty"`
+
+	// Snapshot is the micro-comparison of the copy-on-write Reset path
+	// against the legacy deep-clone Reset (DESIGN.md §9).
+	Snapshot *SnapshotBenchResult `json:"snapshot,omitempty"`
+}
+
+// SnapshotBenchResult quantifies what copy-on-write snapshots buy the
+// campaign's hottest operation: resetting a target between oracle
+// checks. Three reset flavors are timed on the same generated graph:
+// the read-only path (clean overlay, the common case — O(1) by
+// construction), the after-write path (a SET clause dirtied the
+// overlay, reset drops only the touched entries), and the legacy
+// deep-clone Reset after the same write.
+type SnapshotBenchResult struct {
+	GraphNodes int `json:"graph_nodes"`
+	GraphRels  int `json:"graph_rels"`
+	Reps       int `json:"reps"`
+
+	ResetReadOnlyNs   float64 `json:"reset_readonly_ns"`
+	ResetAfterWriteNs float64 `json:"reset_after_write_ns"`
+	ResetCloneNs      float64 `json:"reset_clone_ns"`
+
+	// OverlayCopiesPerWriteReset is how many elements the overlay
+	// promoted (copied) per write+reset cycle — the COW working set,
+	// versus GraphNodes+GraphRels the clone path copies unconditionally.
+	OverlayCopiesPerWriteReset float64 `json:"overlay_copies_per_write_reset"`
+
+	// CloneVsCOWSpeedup is reset_clone_ns / reset_after_write_ns: the
+	// factor the COW path wins by even when the overlay is dirty.
+	CloneVsCOWSpeedup float64 `json:"clone_vs_cow_speedup"`
+}
+
+// measureSnapshotReset runs the reset micro-comparison on a generated
+// graph sized like a campaign graph.
+func measureSnapshotReset(seed int64) *SnapshotBenchResult {
+	r := rand.New(rand.NewSource(seed))
+	g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 24, MaxRels: 80})
+	snap := g.Seal()
+	cow := gdb.NewReference()
+	legacy := gdb.NewReference()
+	if cow.ResetSnapshot(snap, schema) != nil || legacy.Reset(g, schema) != nil {
+		return nil
+	}
+	const reps = 200
+	// A write clause that touches every node, dirtying the overlay the
+	// way a synthesized updating query would.
+	const write = "MATCH (n) SET n.bench_touch = 1"
+
+	res := &SnapshotBenchResult{
+		GraphNodes: snap.NumNodes(),
+		GraphRels:  snap.NumRels(),
+		Reps:       reps,
+	}
+
+	// Read-only path: clean overlay, reset is a pointer swap.
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		cow.ResetSnapshot(snap, schema) //nolint:errcheck // same snapshot as above
+	}
+	res.ResetReadOnlyNs = float64(time.Since(start).Nanoseconds()) / reps
+
+	// After-write path: dirty the overlay each cycle, time only the reset.
+	copies0 := cow.Engine().Store().COWCopies().Total()
+	var resetTime time.Duration
+	for i := 0; i < reps; i++ {
+		cow.Execute(write) //nolint:errcheck // write is well-formed by construction
+		t0 := time.Now()
+		cow.ResetSnapshot(snap, schema) //nolint:errcheck // as above
+		resetTime += time.Since(t0)
+	}
+	res.ResetAfterWriteNs = float64(resetTime.Nanoseconds()) / reps
+	res.OverlayCopiesPerWriteReset =
+		float64(cow.Engine().Store().COWCopies().Total()-copies0) / reps
+
+	// Legacy path: the same write, then the deep-clone Reset. (The write
+	// is required — a clean store short-circuits Reset entirely.)
+	resetTime = 0
+	for i := 0; i < reps; i++ {
+		legacy.Execute(write) //nolint:errcheck // as above
+		t0 := time.Now()
+		legacy.Reset(g, schema) //nolint:errcheck // same graph as above
+		resetTime += time.Since(t0)
+	}
+	res.ResetCloneNs = float64(resetTime.Nanoseconds()) / reps
+	if res.ResetAfterWriteNs > 0 {
+		res.CloneVsCOWSpeedup = res.ResetCloneNs / res.ResetAfterWriteNs
+	}
+	return res
 }
 
 // ParseShareResult quantifies what the prepared-execution layer saves
@@ -92,9 +192,12 @@ func measureParseShare(seed int64) *ParseShareResult {
 	if len(texts) == 0 {
 		return nil
 	}
+	// All five dialects share one immutable snapshot — the COW load
+	// pattern the campaign itself uses.
+	snap := g.Seal()
 	conns := append(gdb.All(), gdb.NewReference())
 	for _, c := range conns {
-		if err := c.Reset(g, schema); err != nil {
+		if err := c.ResetSnapshot(snap, schema); err != nil {
 			return nil
 		}
 	}
@@ -166,19 +269,45 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 		out := RunGQSCampaign(c)
 		return out, time.Since(start).Seconds()
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs0 := ms.Mallocs
 	base, baseSec := run(1)
+	runtime.ReadMemStats(&ms)
+	baseMallocs := ms.Mallocs - mallocs0
+
+	// The parallel leg always runs with GOMAXPROCS >= 2 and >= 2 workers,
+	// so shard interleaving (and the determinism cross-check) is real even
+	// on single-CPU runners.
+	if workers < 2 {
+		workers = 2
+	}
+	prevProcs := runtime.GOMAXPROCS(0)
+	parProcs := prevProcs
+	if parProcs < 2 {
+		parProcs = 2
+		runtime.GOMAXPROCS(parProcs)
+	}
 	par, parSec := run(workers)
+	if parProcs != prevProcs {
+		runtime.GOMAXPROCS(prevProcs)
+	}
 
 	res := BenchResult{
-		Seed:             seed,
-		Iterations:       iterations,
-		GOMAXPROCS:       runtime.GOMAXPROCS(0),
-		BaselineWorkers:  1,
-		BaselineSeconds:  baseSec,
-		ParallelWorkers:  workers,
-		ParallelSeconds:  parSec,
-		Findings:         len(par.Findings),
-		IdenticalBugSets: base.CanonicalBugReport() == par.CanonicalBugReport(),
+		Seed:               seed,
+		Iterations:         iterations,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		BaselineWorkers:    1,
+		BaselineSeconds:    baseSec,
+		ParallelWorkers:    workers,
+		ParallelSeconds:    parSec,
+		ParallelGOMAXPROCS: parProcs,
+		Findings:           len(par.Findings),
+		IdenticalBugSets:   base.CanonicalBugReport() == par.CanonicalBugReport(),
+	}
+	if n := base.Throughput.Iterations; n > 0 {
+		res.CampaignNsPerIter = baseSec * 1e9 / float64(n)
+		res.CampaignAllocsPerIter = float64(baseMallocs) / float64(n)
 	}
 	h := fnv.New64a()
 	h.Write([]byte(par.CanonicalBugReport()))
@@ -195,11 +324,14 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 		res.Speedup = baseSec / parSec
 	}
 	res.ParseShare = measureParseShare(seed)
+	res.Snapshot = measureSnapshotReset(seed)
 
 	fmt.Fprintf(w, "== Sharded-executor throughput (seed %d, %d iterations/GDB, GOMAXPROCS %d) ==\n",
 		seed, iterations, res.GOMAXPROCS)
-	fmt.Fprintf(w, "workers=1:  %6.2fs  %7.1f iterations/s\n", baseSec, res.BaselineIterSec)
-	fmt.Fprintf(w, "workers=%d:  %6.2fs  %7.1f iterations/s\n", workers, parSec, res.ParallelIterSec)
+	fmt.Fprintf(w, "workers=1:  %6.2fs  %7.1f iterations/s  (%.0f allocs/iteration)\n",
+		baseSec, res.BaselineIterSec, res.CampaignAllocsPerIter)
+	fmt.Fprintf(w, "workers=%d:  %6.2fs  %7.1f iterations/s  (GOMAXPROCS %d)\n",
+		workers, parSec, res.ParallelIterSec, parProcs)
 	fmt.Fprintf(w, "speedup: %.2fx; identical bug sets: %v (%d findings)\n",
 		res.Speedup, res.IdenticalBugSets, res.Findings)
 	if ps := res.ParseShare; ps != nil {
@@ -209,6 +341,15 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 		fmt.Fprintf(w, "  prepared: %8.0f ns/check  %5.1f parses/check  %7.0f allocs/check\n",
 			ps.PreparedNsPerCheck, ps.PreparedParsesPerCheck, ps.PreparedAllocsPerCheck)
 		fmt.Fprintf(w, "  parse-share speedup: %.2fx\n", ps.Speedup)
+	}
+	if sb := res.Snapshot; sb != nil {
+		fmt.Fprintf(w, "snapshot reset (%d nodes, %d rels, %d reps):\n",
+			sb.GraphNodes, sb.GraphRels, sb.Reps)
+		fmt.Fprintf(w, "  read-only:   %8.0f ns/reset\n", sb.ResetReadOnlyNs)
+		fmt.Fprintf(w, "  after-write: %8.0f ns/reset  (%.1f overlay copies)\n",
+			sb.ResetAfterWriteNs, sb.OverlayCopiesPerWriteReset)
+		fmt.Fprintf(w, "  deep-clone:  %8.0f ns/reset  (%.2fx slower than COW)\n",
+			sb.ResetCloneNs, sb.CloneVsCOWSpeedup)
 	}
 	return res
 }

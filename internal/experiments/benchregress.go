@@ -30,18 +30,31 @@ func BenchRegress(w io.Writer, currentPath string, previousPaths []string) error
 			failures = append(failures, fmt.Sprintf("baseline %v", err))
 			continue
 		}
+		// Throughput is gated like-for-like: the parallel legs when both
+		// results ran the same worker count, the single-worker baseline
+		// legs otherwise (a 2-worker leg on a 1-CPU runner pays scheduling
+		// overhead a 1-worker leg doesn't — that delta is configuration,
+		// not regression).
+		prevRate, curRate, leg := prev.ParallelIterSec, cur.ParallelIterSec, "parallel"
+		if prev.ParallelWorkers != cur.ParallelWorkers {
+			prevRate, curRate, leg = prev.BaselineIterSec, cur.BaselineIterSec, "baseline"
+		}
 		ratio := 0.0
-		if prev.ParallelIterSec > 0 {
-			ratio = cur.ParallelIterSec / prev.ParallelIterSec
+		if prevRate > 0 {
+			ratio = curRate / prevRate
 		}
 		comparable := prev.Seed == cur.Seed && prev.Iterations == cur.Iterations
-		fmt.Fprintf(w, "vs %-18s %6.1f -> %6.1f iterations/s (%.2fx)", p,
-			prev.ParallelIterSec, cur.ParallelIterSec, ratio)
+		fmt.Fprintf(w, "vs %-18s %6.1f -> %6.1f %s iterations/s (%.2fx)", p,
+			prevRate, curRate, leg, ratio)
 		if ratio > 0 && ratio < 0.9 {
 			failures = append(failures, fmt.Sprintf(
-				"%s: throughput regressed to %.2fx of %s (%.1f vs %.1f iterations/s)",
-				currentPath, ratio, p, cur.ParallelIterSec, prev.ParallelIterSec))
+				"%s: %s throughput regressed to %.2fx of %s (%.1f vs %.1f iterations/s)",
+				currentPath, leg, ratio, p, curRate, prevRate))
 			fmt.Fprint(w, "  REGRESSION")
+		}
+		if prev.CampaignAllocsPerIter > 0 && cur.CampaignAllocsPerIter > 0 {
+			fmt.Fprintf(w, "  %.0f -> %.0f allocs/iteration",
+				prev.CampaignAllocsPerIter, cur.CampaignAllocsPerIter)
 		}
 		if comparable {
 			if prev.Findings != cur.Findings {

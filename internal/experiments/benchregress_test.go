@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, r BenchResult) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := r.WriteJSON(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBenchRegressGates(t *testing.T) {
+	dir := t.TempDir()
+	prev := BenchResult{
+		Seed: 1, Iterations: 20,
+		BaselineIterSec: 100, ParallelWorkers: 2, ParallelIterSec: 90,
+		Findings: 35, IdenticalBugSets: true, BugReportFNV: "abc",
+	}
+	prevPath := writeBench(t, dir, "BENCH_a.json", prev)
+
+	cur := prev
+	curPath := writeBench(t, dir, "BENCH_b.json", cur)
+	if err := BenchRegress(io.Discard, curPath, []string{prevPath}); err != nil {
+		t.Fatalf("identical results must pass: %v", err)
+	}
+
+	// >10% parallel regression at the same worker count fails.
+	slow := prev
+	slow.ParallelIterSec = 70
+	slowPath := writeBench(t, dir, "BENCH_slow.json", slow)
+	err := BenchRegress(io.Discard, slowPath, []string{prevPath})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("parallel regression must fail, got %v", err)
+	}
+
+	// A different worker count gates on the baseline leg instead: the
+	// same slow parallel number passes when it isn't like-for-like...
+	otherWorkers := slow
+	otherWorkers.ParallelWorkers = 1
+	owPath := writeBench(t, dir, "BENCH_ow.json", otherWorkers)
+	if err := BenchRegress(io.Discard, owPath, []string{prevPath}); err != nil {
+		t.Fatalf("cross-worker-count parallel delta must not fail: %v", err)
+	}
+	// ...but a baseline regression still fails.
+	slowBase := otherWorkers
+	slowBase.BaselineIterSec = 50
+	sbPath := writeBench(t, dir, "BENCH_sb.json", slowBase)
+	if err := BenchRegress(io.Discard, sbPath, []string{prevPath}); err == nil {
+		t.Fatal("baseline regression must fail")
+	}
+
+	// A bug-report digest change at the same seed/iterations fails.
+	drift := prev
+	drift.BugReportFNV = "different"
+	driftPath := writeBench(t, dir, "BENCH_drift.json", drift)
+	err = BenchRegress(io.Discard, driftPath, []string{prevPath})
+	if err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("bug-set drift must fail, got %v", err)
+	}
+
+	// A different seed is not bug-set comparable; only throughput gates.
+	otherSeed := drift
+	otherSeed.Seed = 2
+	osPath := writeBench(t, dir, "BENCH_os.json", otherSeed)
+	if err := BenchRegress(io.Discard, osPath, []string{prevPath}); err != nil {
+		t.Fatalf("different seed must not gate the bug set: %v", err)
+	}
+
+	// The current run's own determinism cross-check fails the gate.
+	nondet := prev
+	nondet.IdenticalBugSets = false
+	ndPath := writeBench(t, dir, "BENCH_nd.json", nondet)
+	if err := BenchRegress(io.Discard, ndPath, nil); err == nil {
+		t.Fatal("IdenticalBugSets=false must fail")
+	}
+}

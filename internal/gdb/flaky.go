@@ -114,6 +114,16 @@ func (f *Flaky) Reset(g *graph.Graph, schema *graph.Schema) error {
 	return f.inner.Reset(g, schema)
 }
 
+// ResetSnapshot implements Connector with the same injection policy as
+// Reset — one RNG draw per call — so a campaign sees the identical
+// injected-failure sequence whichever reset path the runner takes.
+func (f *Flaky) ResetSnapshot(snap *graph.Snapshot, schema *graph.Schema) error {
+	if f.cfg.ResetErrorRate > 0 && f.r.Float64() < f.cfg.ResetErrorRate {
+		return &TransientError{Reason: f.nextReason()}
+	}
+	return f.inner.ResetSnapshot(snap, schema)
+}
+
 // reseed restarts the injector's deterministic failure stream from a new
 // seed, so a reused wrapper behaves byte-identically to a freshly
 // constructed one — the per-shard connector-reuse contract.

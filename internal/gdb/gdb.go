@@ -22,6 +22,13 @@ type Connector interface {
 	// Reset clears the instance and loads the graph — the paper's tool
 	// restarts the database for each new graph (§5.4.4).
 	Reset(g *graph.Graph, schema *graph.Schema) error
+	// ResetSnapshot is Reset over a shared immutable graph.Snapshot: the
+	// copy-on-write restart path. All connectors of one oracle check
+	// share the snapshot (and its one-time index build); each instance
+	// overlays its own writes and drops them on the next reset, so
+	// restoring state between checks is O(1) for read-only workloads.
+	// Behaviour is otherwise identical to Reset with the sealed graph.
+	ResetSnapshot(snap *graph.Snapshot, schema *graph.Schema) error
 	Execute(query string) (*engine.Result, error)
 	// ExecuteCtx runs the query under a context so the harness watchdog
 	// can cancel it; implementations must return (engine.ErrCanceled or
@@ -186,6 +193,21 @@ func (s *Sim) Reset(g *graph.Graph, schema *graph.Schema) error {
 		return fmt.Errorf("%s: requires schema information before initializing a graph", s.name)
 	}
 	s.eng.LoadGraph(g, schema)
+	s.lastBug = nil
+	return nil
+}
+
+// ResetSnapshot implements Connector: the simulated instance restarts
+// onto a copy-on-write overlay of the shared snapshot instead of a deep
+// copy of the graph.
+func (s *Sim) ResetSnapshot(snap *graph.Snapshot, schema *graph.Schema) error {
+	if s.closed {
+		return fmt.Errorf("%s: connector is closed", s.name)
+	}
+	if s.requiresSchema && schema == nil {
+		return fmt.Errorf("%s: requires schema information before initializing a graph", s.name)
+	}
+	s.eng.LoadSnapshot(snap, schema)
 	s.lastBug = nil
 	return nil
 }

@@ -14,11 +14,11 @@ import (
 func (g *Graph) ToCypher() string {
 	var parts []string
 	for _, id := range g.NodeIDs() {
-		n := g.nodes[id]
+		n := g.Node(id)
 		parts = append(parts, fmt.Sprintf("(_n%d%s %s)", id, labelString(n.Labels), propString(n.Props)))
 	}
 	for _, id := range g.RelIDs() {
-		r := g.rels[id]
+		r := g.Rel(id)
 		parts = append(parts, fmt.Sprintf("(_n%d)-[:%s %s]->(_n%d)", r.Start, r.Type, propString(r.Props), r.End))
 	}
 	if len(parts) == 0 {

@@ -1,0 +1,90 @@
+package graph
+
+import "slices"
+
+// Index is the immutable label/property index of one graph state: label →
+// ascending node IDs, and per schema-declared IndexSpec, property value
+// key → ascending node IDs. It is never mutated after BuildIndex returns,
+// so one instance can back any number of stores concurrently; the engine
+// layers per-store add/remove delta sets on top (engine.Store) instead of
+// rebuilding it per Reset.
+type Index struct {
+	label  map[string][]ID
+	labels []string // labels with at least one node, sorted
+	prop   map[IndexSpec]map[string][]ID
+	specs  []IndexSpec // declared specs in schema order, deduplicated
+}
+
+// BuildIndex indexes the given nodes (ids ascending, node resolving each
+// ID) under the schema's declared property indexes. A nil schema declares
+// none.
+func BuildIndex(ids []ID, node func(ID) *Node, schema *Schema) *Index {
+	ix := &Index{
+		label: make(map[string][]ID),
+		prop:  make(map[IndexSpec]map[string][]ID),
+	}
+	if schema != nil {
+		for _, spec := range schema.Indexes {
+			if _, ok := ix.prop[spec]; ok {
+				continue
+			}
+			ix.prop[spec] = make(map[string][]ID)
+			ix.specs = append(ix.specs, spec)
+		}
+	}
+	for _, id := range ids {
+		n := node(id)
+		for _, l := range n.Labels {
+			ix.label[l] = append(ix.label[l], id)
+		}
+		for _, spec := range ix.specs {
+			if !n.HasLabel(spec.Label) {
+				continue
+			}
+			if v, ok := n.Props[spec.Property]; ok {
+				k := v.Key()
+				ix.prop[spec][k] = append(ix.prop[spec][k], id)
+			}
+		}
+	}
+	for l := range ix.label {
+		ix.labels = append(ix.labels, l)
+	}
+	slices.Sort(ix.labels)
+	return ix
+}
+
+// Label returns the ascending node IDs carrying the label (shared,
+// read-only), or nil.
+func (ix *Index) Label(l string) []ID { return ix.label[l] }
+
+// Labels returns the labels with at least one node, sorted (shared,
+// read-only).
+func (ix *Index) Labels() []string { return ix.labels }
+
+// HasLabelID reports whether the node carries the label in this index.
+func (ix *Index) HasLabelID(l string, id ID) bool {
+	_, ok := slices.BinarySearch(ix.label[l], id)
+	return ok
+}
+
+// PropDeclared reports whether the spec was declared by the schema the
+// index was built under.
+func (ix *Index) PropDeclared(spec IndexSpec) bool {
+	_, ok := ix.prop[spec]
+	return ok
+}
+
+// Prop returns the ascending node IDs whose spec property has the given
+// value key (shared, read-only), or nil.
+func (ix *Index) Prop(spec IndexSpec, key string) []ID { return ix.prop[spec][key] }
+
+// HasPropID reports whether the node is indexed under (spec, key).
+func (ix *Index) HasPropID(spec IndexSpec, key string, id ID) bool {
+	_, ok := slices.BinarySearch(ix.prop[spec][key], id)
+	return ok
+}
+
+// Specs returns the declared index specs in schema order (shared,
+// read-only).
+func (ix *Index) Specs() []IndexSpec { return ix.specs }

@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"gqs/internal/value"
+)
+
+func buildSmall(t *testing.T) (*Graph, ID, ID, ID) {
+	t.Helper()
+	g := New()
+	a := g.NewNode("L0")
+	b := g.NewNode("L1")
+	a.Props["name"] = value.Str("alice")
+	r, err := g.NewRel(a.ID, b.ID, "T0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a.ID, b.ID, r.ID
+}
+
+func TestSealFreezesAndGraphStaysLive(t *testing.T) {
+	g, aID, _, rID := buildSmall(t)
+	snap := g.Seal()
+	if snap.NumNodes() != 2 || snap.NumRels() != 1 {
+		t.Fatalf("snapshot counts: %d nodes, %d rels", snap.NumNodes(), snap.NumRels())
+	}
+	if g.Base() != snap {
+		t.Fatal("Seal must leave the graph as an overlay of the snapshot")
+	}
+	// The sealed graph keeps working: reads see base data, writes go to
+	// the overlay without disturbing the snapshot.
+	if g.Node(aID).Props["name"].AsString() != "alice" {
+		t.Fatal("read-through to base broken")
+	}
+	g.MutableNode(aID).Props["name"] = value.Str("bob")
+	if snap.Node(aID).Props["name"].AsString() != "alice" {
+		t.Fatal("overlay write leaked into the snapshot")
+	}
+	if g.Node(aID).Props["name"].AsString() != "bob" {
+		t.Fatal("overlay write not visible through the graph")
+	}
+	if snap.Rel(rID) == nil {
+		t.Fatal("snapshot lost the relationship")
+	}
+}
+
+func TestSealCleanOverlayReturnsSameSnapshot(t *testing.T) {
+	g, _, _, _ := buildSmall(t)
+	s1 := g.Seal()
+	s2 := g.Seal()
+	if s1 != s2 {
+		t.Fatal("sealing a clean overlay must return the existing base")
+	}
+	// A diverged overlay seals into a new, independent snapshot.
+	g.NewNode("L2")
+	s3 := g.Seal()
+	if s3 == s1 {
+		t.Fatal("sealing a diverged overlay must produce a new snapshot")
+	}
+	if s3.NumNodes() != 3 || s1.NumNodes() != 2 {
+		t.Fatalf("counts after re-seal: s3=%d s1=%d", s3.NumNodes(), s1.NumNodes())
+	}
+}
+
+func TestOverlayIsolation(t *testing.T) {
+	g, aID, bID, rID := buildSmall(t)
+	snap := g.Seal()
+	g1 := FromSnapshot(snap)
+	g2 := FromSnapshot(snap)
+
+	// g1 mutates, deletes, and creates; g2 must not see any of it.
+	g1.MutableNode(aID).Props["name"] = value.Str("mutated")
+	g1.DeleteRel(rID)
+	if err := g1.DeleteNode(bID, false); err != nil {
+		t.Fatal(err)
+	}
+	n := g1.NewNode("L9")
+
+	if g2.Node(aID).Props["name"].AsString() != "alice" {
+		t.Fatal("g1 mutation visible in g2")
+	}
+	if g2.Rel(rID) == nil || g2.Node(bID) == nil {
+		t.Fatal("g1 deletion visible in g2")
+	}
+	if g2.Node(n.ID) != nil {
+		t.Fatal("g1 creation visible in g2")
+	}
+	if g1.Node(bID) != nil || g1.Rel(rID) != nil {
+		t.Fatal("g1 does not see its own deletions")
+	}
+	// New IDs in independent overlays may collide with each other (both
+	// counters start at the snapshot's), but never with base IDs.
+	if n.ID <= bID {
+		t.Fatal("overlay ID collided with a base ID")
+	}
+}
+
+func TestResetToBase(t *testing.T) {
+	g, aID, bID, rID := buildSmall(t)
+	g.Seal()
+	g.MutableNode(aID).Props["name"] = value.Str("changed")
+	g.DeleteRel(rID)
+	if err := g.DeleteNode(bID, false); err != nil {
+		t.Fatal(err)
+	}
+	g.NewNode("L5")
+	g.NewNode("L6")
+
+	if !g.ResetToBase() {
+		t.Fatal("ResetToBase must succeed on an overlay graph")
+	}
+	if g.NumNodes() != 2 || g.NumRels() != 1 {
+		t.Fatalf("counts after reset: %d nodes, %d rels", g.NumNodes(), g.NumRels())
+	}
+	if g.Node(aID).Props["name"].AsString() != "alice" {
+		t.Fatal("reset did not restore the mutated property")
+	}
+	if g.Node(bID) == nil || g.Rel(rID) == nil {
+		t.Fatal("reset did not restore deleted elements")
+	}
+	if g.COW().Total() != 0 {
+		t.Fatal("reset must clear the COW counters")
+	}
+	// A plain graph has no base to reset to.
+	if New().ResetToBase() {
+		t.Fatal("ResetToBase on a plain graph must report false")
+	}
+}
+
+func TestOverlayIDListsMergeDeletionsAndAdditions(t *testing.T) {
+	g := New()
+	var ids []ID
+	for i := 0; i < 5; i++ {
+		ids = append(ids, g.NewNode("L0").ID)
+	}
+	snap := g.Seal()
+	ov := FromSnapshot(snap)
+	if err := ov.DeleteNode(ids[1], true); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.DeleteNode(ids[3], true); err != nil {
+		t.Fatal(err)
+	}
+	added := ov.NewNode("L1").ID
+
+	got := ov.NodeIDs()
+	want := []ID{ids[0], ids[2], ids[4], added}
+	if len(got) != len(want) {
+		t.Fatalf("NodeIDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NodeIDs = %v, want %v", got, want)
+		}
+	}
+	// The snapshot's own list is untouched.
+	if len(snap.NodeIDs()) != 5 {
+		t.Fatal("snapshot NodeIDs changed")
+	}
+}
+
+func TestCloneOfOverlayIsIndependent(t *testing.T) {
+	g, aID, _, _ := buildSmall(t)
+	snap := g.Seal()
+	ov := FromSnapshot(snap)
+	ov.MutableNode(aID).Props["name"] = value.Str("ov")
+	ov.NewNode("L7")
+
+	cl := ov.Clone()
+	if cl.NumNodes() != ov.NumNodes() || cl.NumRels() != ov.NumRels() {
+		t.Fatal("clone counts differ")
+	}
+	if cl.Node(aID).Props["name"].AsString() != "ov" {
+		t.Fatal("clone lost the overlay mutation")
+	}
+	// Clone is fully independent: further writes on either side are
+	// invisible to the other, and to the snapshot.
+	cl.MutableNode(aID).Props["name"] = value.Str("cl")
+	if ov.Node(aID).Props["name"].AsString() != "ov" {
+		t.Fatal("clone write leaked into the overlay")
+	}
+	if snap.Node(aID).Props["name"].AsString() != "alice" {
+		t.Fatal("overlay write leaked into the snapshot")
+	}
+}
+
+func TestSnapshotIndexCachedPerSchema(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g, schema := Generate(r, GenConfig{MaxNodes: 10, MaxRels: 20})
+	snap := g.Seal()
+	ix1 := snap.Index(schema)
+	ix2 := snap.Index(schema)
+	if ix1 != ix2 {
+		t.Fatal("Index must be built once per schema and cached")
+	}
+	other := &Schema{Labels: schema.Labels, RelTypes: schema.RelTypes, Props: schema.Props}
+	if snap.Index(other) == ix1 {
+		t.Fatal("distinct schema pointers must get distinct index builds")
+	}
+}
+
+func TestCOWStatsCountPromotions(t *testing.T) {
+	g, aID, bID, _ := buildSmall(t)
+	snap := g.Seal()
+	ov := FromSnapshot(snap)
+	if ov.COW().Total() != 0 {
+		t.Fatal("fresh overlay must start with zero COW promotions")
+	}
+	ov.MutableNode(aID).Props["x"] = value.Int(1)
+	ov.MutableNode(aID).Props["y"] = value.Int(2) // second write: already promoted
+	if got := ov.COW().NodeCopies; got != 1 {
+		t.Fatalf("NodeCopies = %d, want 1 (promotion happens once per element)", got)
+	}
+	if _, err := ov.NewRel(aID, bID, "T1"); err != nil {
+		t.Fatal(err)
+	}
+	if ov.COW().AdjCopies == 0 {
+		t.Fatal("appending to base adjacency must count an AdjCopy")
+	}
+}
