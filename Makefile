@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-regress bench-go profile verify smoke
+.PHONY: build test vet race bench bench-regress bench-go profile verify smoke crashtest
 
 build:
 	$(GO) build ./...
@@ -16,17 +16,19 @@ race:
 
 # Sharded-executor throughput bench: the same fixed-seed campaign at 1
 # worker and at >=2 workers (GOMAXPROCS forced to >=2 for the parallel
-# leg), plus the prepared-vs-text parse-share micro-comparison and the
-# COW-vs-clone snapshot-reset micro-comparison; writes BENCH_pr5.json
-# and fails if the two campaign runs report different bug sets.
+# leg), plus the prepared-vs-text parse-share micro-comparison, the
+# COW-vs-clone snapshot-reset micro-comparison, and the durable-campaign
+# checkpoint-overhead comparison; writes BENCH_pr6.json and fails if the
+# two campaign runs report different bug sets.
 bench:
-	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr5.json
+	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr6.json
 
-# Regression gate: compares BENCH_pr5.json against every other
-# BENCH_*.json and fails on >10% parallel-throughput regression or a
-# like-for-like bug-set mismatch.
+# Regression gate: compares BENCH_pr6.json against every other
+# BENCH_*.json and fails on >10% parallel-throughput regression, a
+# like-for-like bug-set mismatch, checkpoint-journal write time above 1%
+# of the campaign, or a durable-vs-plain bug-report mismatch.
 bench-regress:
-	$(GO) run ./cmd/gqs-bench -exp bench-regress -bench-out BENCH_pr5.json
+	$(GO) run ./cmd/gqs-bench -exp bench-regress -bench-out BENCH_pr6.json
 
 # Go micro-benchmarks (the pre-existing bench target).
 bench-go:
@@ -37,9 +39,16 @@ bench-go:
 profile:
 	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -cpuprofile cpu.out -memprofile mem.out
 
-# Tier-1 verification gate (see ROADMAP.md), plus the perf-regression
-# gate over the recorded BENCH_*.json history.
-verify: build vet test race bench-regress
+# Kill-and-resume differential under the race detector, repeated: a
+# campaign killed at a checkpoint boundary (journal tail torn on top)
+# must resume into the byte-identical bug report of an uninterrupted run.
+crashtest:
+	$(GO) test -race -count=3 -run 'TestKillResumeDifferential|TestMidWriteKillResume' ./internal/experiments/
+
+# Tier-1 verification gate (see ROADMAP.md), plus the crash-safety
+# differential and the perf-regression gate over the recorded
+# BENCH_*.json history.
+verify: build vet test race crashtest bench-regress
 
 # Short resilient-campaign smoke under the race detector: live faults,
 # flaky connection, watchdog timeouts — the hardened-runner acceptance.

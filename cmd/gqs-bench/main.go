@@ -165,7 +165,7 @@ func main() {
 	if *exp == "bench-regress" {
 		cur := *benchOut
 		if cur == "" {
-			cur = "BENCH_pr5.json"
+			cur = "BENCH_pr6.json"
 		}
 		all, err := filepath.Glob("BENCH_*.json")
 		if err != nil {

@@ -7,13 +7,26 @@
 //	gqs -gdb falkordb -iterations 50 -seed 7
 //	gqs -gdb all -iterations 30 -v
 //	gqs -gdb memgraph -live -flaky 0.1 -timeout 5s -retries 3
+//	gqs -gdb all -checkpoint run.journal -checkpoint-every 5   # durable
+//	gqs -gdb all -checkpoint run.journal -resume               # after a kill
+//
+// With -checkpoint the campaign journals completed work units to a
+// crash-safe file; SIGINT/SIGTERM drain in-flight work, write a final
+// checkpoint, and exit 0, and -resume fast-forwards a new run past
+// everything already completed — to the byte-identical results an
+// uninterrupted run would have produced.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"strings"
+	"syscall"
 	"time"
 
 	"gqs/internal/core"
@@ -56,6 +69,9 @@ func main() {
 		flaky      = flag.Float64("flaky", 0, "inject transient connector errors at this rate (0..1) to exercise the retry machinery")
 		live       = flag.Bool("live", false, "manifest injected faults live: hangs block until the deadline, crashes panic in the connector")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for the sharded executor; the reported bug set is identical for every value at the same seed (0 = legacy sequential runner)")
+		checkpoint = flag.String("checkpoint", "", "journal completed work units to this file for crash-safe resume")
+		ckEvery    = flag.Int("checkpoint-every", 10, "flush a checkpoint snapshot every N completed units (shards or iterations)")
+		resume     = flag.Bool("resume", false, "resume the campaign recorded in -checkpoint (refused if the configuration changed)")
 	)
 	flag.Parse()
 	if *reportDir != "" {
@@ -78,18 +94,88 @@ func main() {
 	if *gdbName == "all" {
 		names = []string{"neo4j", "memgraph", "kuzu", "falkordb"}
 	}
+
+	// SIGINT/SIGTERM cancel the campaign context: the executors drain
+	// in-flight work and stop between units, the final checkpoint below
+	// flushes, and a second signal kills outright (stop() restores the
+	// default handlers once we're past the graceful window).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var ck *core.Checkpointer
+	if *checkpoint != "" {
+		if opts.flaky > 0 && opts.workers == 0 {
+			fmt.Fprintln(os.Stderr, "gqs: warning: the sequential executor's flaky stream spans the whole campaign and cannot be fast-forwarded; a resumed run will see a different fault schedule (use -workers >= 1 for resumable flaky campaigns)")
+		}
+		var err error
+		ck, err = core.OpenCheckpoint(core.CheckpointConfig{
+			Path: *checkpoint, Every: *ckEvery, Resume: *resume,
+		}, fingerprint(names, opts))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gqs: %v\n", err)
+			os.Exit(1)
+		}
+		if n := ck.Stats().ResumedUnits; n > 0 {
+			fmt.Printf("resuming from %s: %d completed units restored\n", *checkpoint, n)
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "gqs: -resume requires -checkpoint")
+		os.Exit(1)
+	}
+
 	exit := 0
 	for _, name := range names {
+		if ctx.Err() != nil {
+			break
+		}
 		runner := run
 		if opts.workers > 0 {
 			runner = runParallel
 		}
-		if err := runner(name, opts); err != nil {
+		if err := runner(ctx, name, opts, ck); err != nil {
 			fmt.Fprintf(os.Stderr, "gqs: %s: %v\n", name, err)
 			exit = 1
 		}
 	}
+	if ck != nil {
+		if err := ck.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "gqs: checkpoint journal degraded (campaign results unaffected): %v\n", err)
+			exit = 1
+		}
+		cs := ck.Stats()
+		fmt.Printf("checkpoint: %d snapshots journaled (%d bytes) to %s\n", cs.Written, cs.Bytes, *checkpoint)
+		ck.Close()
+	}
+	if ctx.Err() != nil {
+		stop()
+		if ck != nil {
+			fmt.Printf("interrupted: progress checkpointed; rerun with -resume -checkpoint %s to continue\n", *checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "gqs: interrupted")
+			exit = 130
+		}
+	}
 	os.Exit(exit)
+}
+
+// fingerprint renders the campaign identity the checkpoint journal is
+// bound to; see core.CampaignFingerprint. The output options (-v,
+// -reports) are deliberately excluded — they do not affect the
+// deterministic stream.
+func fingerprint(names []string, o options) string {
+	mode, workers := "sequential", 0
+	if o.workers > 0 {
+		mode, workers = "sharded", o.workers
+	}
+	targets := strings.Join(names, ",")
+	if o.live {
+		targets += " live"
+	}
+	if o.flaky > 0 {
+		targets += fmt.Sprintf(" flaky=%g", o.flaky)
+	}
+	return core.CampaignFingerprint(mode, targets, faults.CatalogFingerprint(),
+		workers, o.iterations, runnerConfig(o))
 }
 
 // runnerConfig translates the flags into the runner configuration both
@@ -105,11 +191,98 @@ func runnerConfig(o options) core.RunnerConfig {
 	return cfg
 }
 
+// cmdDetection is one logic- or error-bug detection, prerendered so the
+// checkpoint journal can replay a restored unit's output (and report
+// file) exactly as the original run printed it.
+type cmdDetection struct {
+	Bug     string `json:"bug,omitempty"` // catalog ID; "" = unattributed
+	Desc    string `json:"desc,omitempty"`
+	Verdict string `json:"verdict"`
+	Seq     int    `json:"seq"`
+	Steps   int    `json:"steps"`
+	Query   string `json:"query,omitempty"`
+	Detail  string `json:"detail,omitempty"` // expected/actual or error lines
+	Report  string `json:"report,omitempty"` // reproducible bug report (md)
+}
+
+// captureDetection renders a failing test case into its durable form;
+// ok is false for passes and skips.
+func captureDetection(name string, target core.Target, tc *core.TestCase, reportDir string) (cmdDetection, bool) {
+	if tc.Verdict != core.VerdictLogicBug && tc.Verdict != core.VerdictErrorBug {
+		return cmdDetection{}, false
+	}
+	d := cmdDetection{Verdict: tc.Verdict.String(), Seq: tc.Seq, Steps: tc.Steps, Query: tc.Query}
+	if tb, ok := target.(interface{ TriggeredBug() *faults.Bug }); ok {
+		if b := tb.TriggeredBug(); b != nil {
+			d.Bug, d.Desc = b.ID, b.Description
+			if reportDir != "" {
+				d.Report = tc.Report(name)
+			}
+		}
+	}
+	if tc.Verdict == core.VerdictLogicBug {
+		d.Detail = fmt.Sprintf("  expected: %v\n  actual:   %v", tc.Expected.Canonical(), tc.Actual.Canonical())
+	} else {
+		d.Detail = fmt.Sprintf("  error: %v", tc.Err)
+	}
+	return d, true
+}
+
+// emitDetection prints one detection (live or restored) and writes its
+// report file on first sight of the bug.
+func emitDetection(name string, shard int, shardIndexed bool, d cmdDetection, o options, found map[string]bool) {
+	tag := "UNATTRIBUTED"
+	fresh := true
+	if d.Bug != "" {
+		tag = d.Bug
+		fresh = !found[tag]
+		found[tag] = true
+	}
+	if fresh && o.reportDir != "" && d.Bug != "" && d.Report != "" {
+		path := o.reportDir + "/" + name + "-" + d.Bug + ".md"
+		if werr := os.WriteFile(path, []byte(d.Report), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "gqs: write report: %v\n", werr)
+		}
+	}
+	if !fresh && !o.verbose {
+		return
+	}
+	if shardIndexed {
+		fmt.Printf("[%s] %s (shard %d, query #%d, %d steps)\n", d.Verdict, tag, shard, d.Seq, d.Steps)
+	} else {
+		fmt.Printf("[%s] %s (query #%d, %d steps)\n", d.Verdict, tag, d.Seq, d.Steps)
+	}
+	if d.Desc != "" {
+		fmt.Printf("  %s\n", d.Desc)
+	}
+	if o.verbose {
+		fmt.Printf("  query: %s\n", d.Query)
+		fmt.Printf("%s\n", d.Detail)
+	}
+}
+
+func encodeDetections(ds []cmdDetection) json.RawMessage {
+	p, err := json.Marshal(ds)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+func decodeDetections(data json.RawMessage) []cmdDetection {
+	var ds []cmdDetection
+	if len(data) > 0 {
+		json.Unmarshal(data, &ds) //nolint:errcheck // corrupt payload ⇒ no replayed output
+	}
+	return ds
+}
+
 // runParallel is the sharded executor path (-workers >= 1): iterations
 // fan out across a worker pool, detections are buffered per shard, and
 // the output is printed in canonical shard order — so it is identical
-// for every worker count at the same seed.
-func runParallel(name string, o options) error {
+// for every worker count at the same seed, and across kill/resume
+// boundaries.
+func runParallel(ctx context.Context, name string, o options, ck *core.Checkpointer) error {
 	if _, err := gdb.ByName(name); err != nil {
 		return err // reject unknown names before spinning up a pool
 	}
@@ -126,58 +299,36 @@ func runParallel(name string, o options) error {
 
 	// Detections are buffered per shard (the observer runs concurrently
 	// across shards, sequentially within one — disjoint slots need no
-	// lock) and rendered after the pool drains, in shard order.
-	type detection struct {
-		bug *faults.Bug
-		tc  *core.TestCase
-	}
-	logs := make([][]detection, o.iterations)
+	// lock) and rendered after the pool drains, in shard order. The
+	// checkpoint hooks use the same slots: Payload seals a finished
+	// shard's buffer into its journal record, Restore refills a skipped
+	// shard's slot from the journal.
+	logs := make([][]cmdDetection, o.iterations)
 	meter := metrics.NewMeter()
-	ps := core.RunParallel(pcfg, func(shard int) (core.Target, error) { return connect(shard) },
+	ckBefore := ck.Stats().Written
+	hooks := core.DurableHooks{
+		Payload: func(_ string, shard int) json.RawMessage { return encodeDetections(logs[shard]) },
+		Restore: func(u core.UnitRecord) {
+			if u.Shard >= 0 && u.Shard < len(logs) {
+				logs[u.Shard] = decodeDetections(u.Payload)
+			}
+		},
+	}
+	ps := core.RunCheckpointedParallel(ctx, pcfg, name,
+		func(shard int) (core.Target, error) { return connect(shard) },
 		func(shard int, target core.Target, tc *core.TestCase) {
 			meter.AddQuery()
-			if tc.Verdict != core.VerdictLogicBug && tc.Verdict != core.VerdictErrorBug {
-				return
+			if d, ok := captureDetection(name, target, tc, o.reportDir); ok {
+				logs[shard] = append(logs[shard], d)
 			}
-			var bug *faults.Bug
-			if tb, ok := target.(interface{ TriggeredBug() *faults.Bug }); ok {
-				bug = tb.TriggeredBug()
-			}
-			logs[shard] = append(logs[shard], detection{bug: bug, tc: tc})
-		})
+		}, ck, hooks)
 	meter.AddIterations(len(ps.Shards))
+	meter.AddCheckpoints(ck.Stats().Written - ckBefore)
 
 	found := map[string]bool{}
 	for shard, dets := range logs {
 		for _, d := range dets {
-			tag := "UNATTRIBUTED"
-			fresh := true
-			if d.bug != nil {
-				tag = d.bug.ID
-				fresh = !found[tag]
-				found[tag] = true
-			}
-			if fresh && o.reportDir != "" && d.bug != nil {
-				path := o.reportDir + "/" + name + "-" + d.bug.ID + ".md"
-				if werr := os.WriteFile(path, []byte(d.tc.Report(name)), 0o644); werr != nil {
-					fmt.Fprintf(os.Stderr, "gqs: write report: %v\n", werr)
-				}
-			}
-			if !fresh && !o.verbose {
-				continue
-			}
-			fmt.Printf("[%s] %s (shard %d, query #%d, %d steps)\n", d.tc.Verdict, tag, shard, d.tc.Seq, d.tc.Steps)
-			if d.bug != nil {
-				fmt.Printf("  %s\n", d.bug.Description)
-			}
-			if o.verbose {
-				fmt.Printf("  query: %s\n", d.tc.Query)
-				if d.tc.Verdict == core.VerdictLogicBug {
-					fmt.Printf("  expected: %v\n  actual:   %v\n", d.tc.Expected.Canonical(), d.tc.Actual.Canonical())
-				} else {
-					fmt.Printf("  error: %v\n", d.tc.Err)
-				}
-			}
+			emitDetection(name, shard, true, d, o, found)
 		}
 	}
 	for range found {
@@ -196,7 +347,11 @@ func runParallel(name string, o options) error {
 	return nil
 }
 
-func run(name string, o options) error {
+// run is the legacy sequential executor path (-workers 0): one runner,
+// one RNG stream, detections printed as they happen. With a checkpoint,
+// each completed iteration is journaled and a resumed run replays the
+// restored iterations' output before continuing live.
+func run(ctx context.Context, name string, o options, ck *core.Checkpointer) error {
 	sim, err := gdb.ByName(name)
 	if err != nil {
 		return err
@@ -217,41 +372,28 @@ func run(name string, o options) error {
 
 	fmt.Printf("=== testing %s (seed %d, %d iterations) ===\n", name, o.seed, o.iterations)
 	found := map[string]bool{}
-	rn := core.NewRunner(target, cfg)
-	stats, err := rn.Run(o.iterations, func(tc *core.TestCase) {
-		if tc.Verdict != core.VerdictLogicBug && tc.Verdict != core.VerdictErrorBug {
-			return
-		}
-		bug := target.TriggeredBug()
-		tag := "UNATTRIBUTED"
-		fresh := true
-		if bug != nil {
-			tag = bug.ID
-			fresh = !found[bug.ID]
-			found[bug.ID] = true
-		}
-		if fresh && o.reportDir != "" && bug != nil {
-			path := o.reportDir + "/" + name + "-" + bug.ID + ".md"
-			if werr := os.WriteFile(path, []byte(tc.Report(name)), 0o644); werr != nil {
-				fmt.Fprintf(os.Stderr, "gqs: write report: %v\n", werr)
+	var cur []cmdDetection // the in-flight iteration's detections
+	hooks := core.DurableHooks{
+		Payload: func(string, int) json.RawMessage {
+			p := encodeDetections(cur)
+			cur = nil
+			return p
+		},
+		Restore: func(u core.UnitRecord) {
+			for _, d := range decodeDetections(u.Payload) {
+				emitDetection(name, 0, false, d, o, found)
 			}
-		}
-		if !fresh && !o.verbose {
-			return
-		}
-		fmt.Printf("[%s] %s (query #%d, %d steps)\n", tc.Verdict, tag, tc.Seq, tc.Steps)
-		if bug != nil {
-			fmt.Printf("  %s\n", bug.Description)
-		}
-		if o.verbose {
-			fmt.Printf("  query: %s\n", tc.Query)
-			if tc.Verdict == core.VerdictLogicBug {
-				fmt.Printf("  expected: %v\n  actual:   %v\n", tc.Expected.Canonical(), tc.Actual.Canonical())
-			} else {
-				fmt.Printf("  error: %v\n", tc.Err)
+		},
+	}
+	stats, err := core.RunCheckpointedSequential(ctx, target, cfg, o.iterations, name, ck, hooks,
+		func(tc *core.TestCase) {
+			d, ok := captureDetection(name, target, tc, o.reportDir)
+			if !ok {
+				return
 			}
-		}
-	})
+			cur = append(cur, d)
+			emitDetection(name, 0, false, d, o, found)
+		})
 	if err != nil {
 		return err
 	}
@@ -264,10 +406,20 @@ func printSummary(name string, stats core.Stats, distinct int) {
 	fmt.Printf("%s: %d queries, %d passed, %d logic-bug reports, %d error reports, %d skipped; %d distinct bugs; %.1fs\n",
 		name, stats.Queries, stats.Passes, stats.LogicBugs, stats.ErrorBugs, stats.Skips,
 		distinct, stats.Elapsed.Seconds())
-	if rb := stats.Robust; rb != (core.RobustnessStats{}) {
+	rb := stats.Robust
+	// The checkpoint counters get their own line; blank them before the
+	// zero-comparison so a clean durable run doesn't print an all-zero
+	// resilience line.
+	ckWritten, ckBytes, ckFF := rb.CheckpointsWritten, rb.CheckpointBytes, rb.ResumeFastForwarded
+	rb.CheckpointsWritten, rb.CheckpointBytes, rb.LastCheckpointAge, rb.ResumeFastForwarded = 0, 0, 0, 0
+	if rb != (core.RobustnessStats{}) {
 		fmt.Printf("%s: resilience: %d timeouts, %d retries (%d transient, %d give-ups), %d panics recovered, %d restarts (%d failed), %d breaker trips, %d abandoned graphs, %v downtime\n",
 			name, rb.Timeouts, rb.Retries, rb.TransientErrors, rb.TransientGiveUps,
 			rb.PanicsRecovered, rb.Restarts, rb.RestartFailures, rb.BreakerTrips,
 			rb.AbandonedGraphs, rb.Downtime.Round(time.Millisecond))
+	}
+	if ckWritten > 0 || ckFF > 0 {
+		fmt.Printf("%s: checkpoint: %d snapshots (%d bytes), %d units fast-forwarded on resume\n",
+			name, ckWritten, ckBytes, ckFF)
 	}
 }

@@ -140,16 +140,20 @@ func OpenSim(name string) (*gdb.Sim, error) { return gdb.ByName(name) }
 // synthesize query, validate — against a target.
 type Tester struct {
 	runner  *core.Runner
+	target  Target
 	factory TargetFactory
 	cfg     testerConfig
 }
 
 // testerConfig is the option-accumulation state behind TesterOption:
 // the runner configuration plus tester-level knobs that have no home in
-// core.RunnerConfig (the worker-pool size).
+// core.RunnerConfig (the worker-pool size and the checkpoint journal).
 type testerConfig struct {
-	runner  core.RunnerConfig
-	workers int
+	runner   core.RunnerConfig
+	workers  int
+	ckPath   string
+	ckEvery  int
+	ckResume bool
 }
 
 // TesterOption customizes a Tester.
@@ -209,6 +213,30 @@ func WithWorkers(n int) TesterOption {
 	return func(c *testerConfig) { c.workers = n }
 }
 
+// WithCheckpoint journals completed work units (iterations, or shards on
+// a sharded tester) to a crash-safe append-only file, flushing a snapshot
+// every `every` completed units (<= 0 means every unit). A RunContext
+// canceled mid-campaign leaves the journal resumable; see WithResume.
+// Only RunContext honors the journal — plain Run ignores it.
+func WithCheckpoint(path string, every int) TesterOption {
+	return func(c *testerConfig) { c.ckPath, c.ckEvery = path, every }
+}
+
+// WithResume makes RunContext resume the campaign recorded in the
+// WithCheckpoint journal: completed units are restored from the journal
+// (their stats fold into the returned Stats, but their test cases are
+// not re-reported) and the RNG fast-forwards past them, so the combined
+// outcome is identical to an uninterrupted run. Resume is refused with
+// ErrFingerprintMismatch if the tester configuration, iteration count,
+// or mode changed since the journal was written.
+func WithResume() TesterOption {
+	return func(c *testerConfig) { c.ckResume = true }
+}
+
+// ErrFingerprintMismatch is returned by RunContext when WithResume finds
+// a journal written under a different configuration.
+var ErrFingerprintMismatch = core.ErrFingerprintMismatch
+
 // TargetFactory builds one independent target per shard for a sharded
 // tester; see core.TargetFactory for the isolation contract.
 type TargetFactory = core.TargetFactory
@@ -219,7 +247,7 @@ func NewTester(target Target, opts ...TesterOption) *Tester {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Tester{runner: core.NewRunner(target, cfg.runner), cfg: cfg}
+	return &Tester{runner: core.NewRunner(target, cfg.runner), target: target, cfg: cfg}
 }
 
 // NewShardedTester creates a tester that fans its iterations across a
@@ -256,6 +284,65 @@ func (t *Tester) Run(n int, report func(*TestCase)) (Stats, error) {
 	}
 	ps := core.RunParallel(pcfg, t.factory, observe)
 	return ps.Stats, nil
+}
+
+// RunContext is Run under a cancelable context and the WithCheckpoint /
+// WithResume options. Unlike Run — which on a sequential tester continues
+// the same runner state across calls — RunContext always executes a
+// self-contained campaign of n iterations derived from WithSeed (the
+// determinism a resumable journal requires). Cancellation stops between
+// work units, flushes a final checkpoint, and returns the partial Stats
+// with a nil error; resuming later completes the campaign as if it had
+// never been interrupted.
+func (t *Tester) RunContext(ctx context.Context, n int, report func(*TestCase)) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var ck *core.Checkpointer
+	if t.cfg.ckPath != "" {
+		mode, workers := "sequential", 0
+		if t.factory != nil {
+			mode, workers = "sharded", t.cfg.workers
+		}
+		fp := core.CampaignFingerprint(mode, "user-target", "", workers, n, t.cfg.runner)
+		var err error
+		ck, err = core.OpenCheckpoint(core.CheckpointConfig{
+			Path: t.cfg.ckPath, Every: t.cfg.ckEvery, Resume: t.cfg.ckResume,
+		}, fp)
+		if err != nil {
+			return Stats{}, err
+		}
+		defer ck.Close()
+	}
+	var stats Stats
+	if t.factory == nil {
+		var err error
+		stats, err = core.RunCheckpointedSequential(ctx, t.target, t.cfg.runner, n,
+			"target", ck, core.DurableHooks{}, report)
+		if err != nil {
+			return stats, err
+		}
+	} else {
+		pcfg := core.ParallelConfig{Workers: t.cfg.workers, Iterations: n, Runner: t.cfg.runner}
+		var observe func(int, core.Target, *core.TestCase)
+		if report != nil {
+			var mu sync.Mutex
+			observe = func(_ int, _ core.Target, tc *core.TestCase) {
+				mu.Lock()
+				defer mu.Unlock()
+				report(tc)
+			}
+		}
+		ps := core.RunCheckpointedParallel(ctx, pcfg, "target", t.factory, observe, ck, core.DurableHooks{})
+		stats = ps.Stats
+	}
+	if ck != nil {
+		if err := ck.Flush(); err != nil {
+			return stats, fmt.Errorf("gqs: checkpoint journal: %w", err)
+		}
+		ck.ApplyTo(&stats.Robust)
+	}
+	return stats, nil
 }
 
 // Synthesize builds a single ground-truth/query pair over a given graph,

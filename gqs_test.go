@@ -1,6 +1,9 @@
 package gqs
 
 import (
+	"context"
+	"errors"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -141,5 +144,100 @@ func TestSynthesize(t *testing.T) {
 	q2, _, _ := Synthesize(42, 10, 30)
 	if q != q2 {
 		t.Error("Synthesize must be deterministic per seed")
+	}
+}
+
+// ckStatsScrub zeroes the wall-clock and checkpoint-accounting fields so
+// durable and plain campaign stats can be compared for equality.
+func ckStatsScrub(s Stats) Stats {
+	s.Elapsed = 0
+	s.Robust.Downtime = 0
+	s.Robust.ResumeFastForwarded = 0
+	s.Robust.CheckpointsWritten = 0
+	s.Robust.CheckpointBytes = 0
+	s.Robust.LastCheckpointAge = 0
+	return s
+}
+
+// TestTesterRunContextCheckpointResume: the public checkpoint API — a
+// campaign canceled mid-run resumes from its journal and converges on
+// the stats an uninterrupted run produces, on both tester shapes.
+func TestTesterRunContextCheckpointResume(t *testing.T) {
+	const iters = 6
+	shapes := []struct {
+		name string
+		make func(opts ...TesterOption) *Tester
+	}{
+		{"sequential", func(opts ...TesterOption) *Tester {
+			sim, err := OpenSim("falkordb")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewTester(sim, opts...)
+		}},
+		{"sharded", func(opts ...TesterOption) *Tester {
+			factory := func(shard int) (Target, error) { return OpenSim("falkordb") }
+			return NewShardedTester(factory, append(opts, WithWorkers(2))...)
+		}},
+	}
+	for _, shape := range shapes {
+		shape := shape
+		t.Run(shape.name, func(t *testing.T) {
+			base := []TesterOption{WithSeed(3), WithGraphSize(10, 30), WithMaxSteps(7), WithQueriesPerGraph(5)}
+			want, err := shape.make(base...).RunContext(context.Background(), iters, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Cancel half-way through the case stream: late enough that some
+			// work units have completed (and flushed, with Every=1), early
+			// enough that queued units are still pending.
+			cancelAt := want.Queries / 2
+			want = ckStatsScrub(want)
+
+			path := filepath.Join(t.TempDir(), "tester.journal")
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			cases := 0
+			durable := append(append([]TesterOption{}, base...), WithCheckpoint(path, 1))
+			partial, err := shape.make(durable...).RunContext(ctx, iters, func(*TestCase) {
+				if cases++; cases == cancelAt {
+					cancel()
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if partial.Queries >= want.Queries {
+				t.Fatalf("cancellation did not interrupt: partial ran %d of %d queries", partial.Queries, want.Queries)
+			}
+
+			resumed, err := shape.make(append(durable, WithResume())...).RunContext(context.Background(), iters, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Robust.ResumeFastForwarded == 0 {
+				t.Error("resume restored nothing")
+			}
+			if got := ckStatsScrub(resumed); got != want {
+				t.Errorf("resumed stats diverge:\n  resumed: %+v\n  want:    %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestTesterResumeRefusesChangedSeed: WithResume under a changed
+// configuration is refused with ErrFingerprintMismatch.
+func TestTesterResumeRefusesChangedSeed(t *testing.T) {
+	sim, err := OpenSim("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tester.journal")
+	if _, err := NewTester(sim, WithSeed(3), WithCheckpoint(path, 1)).RunContext(context.Background(), 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewTester(sim, WithSeed(4), WithCheckpoint(path, 1), WithResume()).RunContext(context.Background(), 2, nil)
+	if !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("resume with a changed seed: err = %v, want ErrFingerprintMismatch", err)
 	}
 }

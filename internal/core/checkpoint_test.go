@@ -1,0 +1,441 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gqs/internal/gdb"
+)
+
+func ckPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "campaign.journal")
+}
+
+// scrubCk additionally zeroes the checkpoint-layer fields that
+// legitimately differ between a resumed run and an uninterrupted one.
+func scrubCk(s Stats) Stats {
+	s = scrub(s)
+	s.Robust.ResumeFastForwarded = 0
+	s.Robust.CheckpointsWritten = 0
+	s.Robust.CheckpointBytes = 0
+	s.Robust.LastCheckpointAge = 0
+	return s
+}
+
+func TestCheckpointerBatchFlushAndResume(t *testing.T) {
+	path := ckPath(t)
+	fp := "fp-batch"
+	ck, err := OpenCheckpoint(CheckpointConfig{Path: path, Every: 2}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := func(shard, queries int) UnitRecord {
+		var s Stats
+		s.Queries = queries
+		return UnitRecord{Target: "a", Shard: shard, Queries: queries, Stats: s}
+	}
+	ck.Record(unit(0, 3))
+	if st := ck.Stats(); st.Written != 0 {
+		t.Fatalf("flushed before Every units: %+v", st)
+	}
+	ck.Record(unit(1, 4))
+	if st := ck.Stats(); st.Written != 1 || st.Bytes == 0 {
+		t.Fatalf("batch of 2 did not flush once: %+v", st)
+	}
+	ck.Record(unit(2, 5)) // dirty: only Close's flush persists it
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCheckpoint(CheckpointConfig{Path: path, Resume: true}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if st := re.Stats(); st.ResumedUnits != 3 {
+		t.Fatalf("ResumedUnits = %d, want 3", st.ResumedUnits)
+	}
+	u, ok := re.Completed("a", 2)
+	if !ok || u.Queries != 5 || u.Stats.Queries != 5 {
+		t.Fatalf("unit 2 not restored: %+v ok=%v", u, ok)
+	}
+	if _, ok := re.Completed("a", 3); ok {
+		t.Fatal("phantom unit restored")
+	}
+	if _, ok := re.Completed("b", 0); ok {
+		t.Fatal("unit restored under the wrong target")
+	}
+}
+
+func TestCheckpointRefusesNonEmptyWithoutResume(t *testing.T) {
+	path := ckPath(t)
+	ck, err := OpenCheckpoint(CheckpointConfig{Path: path}, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Record(UnitRecord{Target: "a", Shard: 0})
+	ck.Close()
+
+	if _, err := OpenCheckpoint(CheckpointConfig{Path: path}, "fp"); err == nil {
+		t.Fatal("reopening a non-empty journal without Resume must fail")
+	}
+}
+
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	path := ckPath(t)
+	ck, err := OpenCheckpoint(CheckpointConfig{Path: path}, "fp-old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Record(UnitRecord{Target: "a", Shard: 0})
+	ck.Close()
+
+	_, err = OpenCheckpoint(CheckpointConfig{Path: path, Resume: true}, "fp-new")
+	if !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("err = %v, want ErrFingerprintMismatch", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "fp-old") || !strings.Contains(err.Error(), "fp-new") {
+		t.Fatalf("mismatch error must show both fingerprints: %v", err)
+	}
+}
+
+func TestCheckpointCompactionBoundsJournal(t *testing.T) {
+	path := ckPath(t)
+	fp := "fp-compact"
+	ck, err := OpenCheckpoint(CheckpointConfig{Path: path, Every: 1, CompactBytes: 512}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		ck.Record(UnitRecord{Target: "a", Shard: i, Queries: i})
+	}
+	ck.Close()
+
+	re, err := OpenCheckpoint(CheckpointConfig{Path: path, Resume: true}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if st := re.Stats(); st.ResumedUnits != 50 {
+		t.Fatalf("compaction lost units: %+v", st)
+	}
+}
+
+func TestCampaignFingerprintSensitivity(t *testing.T) {
+	cfg := tinyRunnerConfig()
+	base := CampaignFingerprint("sequential", "reference", "cat", 1, 10, cfg)
+	if base != CampaignFingerprint("sequential", "reference", "cat", 1, 10, cfg) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	cfg2 := cfg
+	cfg2.Seed++
+	for name, other := range map[string]string{
+		"seed":       CampaignFingerprint("sequential", "reference", "cat", 1, 10, cfg2),
+		"mode":       CampaignFingerprint("sharded", "reference", "cat", 1, 10, cfg),
+		"targets":    CampaignFingerprint("sequential", "memgraph", "cat", 1, 10, cfg),
+		"catalog":    CampaignFingerprint("sequential", "reference", "cat2", 1, 10, cfg),
+		"workers":    CampaignFingerprint("sequential", "reference", "cat", 2, 10, cfg),
+		"iterations": CampaignFingerprint("sequential", "reference", "cat", 1, 11, cfg),
+	} {
+		if other == base {
+			t.Errorf("fingerprint insensitive to %s", name)
+		}
+	}
+}
+
+// TestCheckpointedSequentialResume: a sequential campaign killed after
+// its second checkpoint resumes into the byte-identical verdict stream
+// and merged stats of an uninterrupted run.
+func TestCheckpointedSequentialResume(t *testing.T) {
+	cfg := tinyRunnerConfig()
+	cfg.Seed = 31
+	const iterations = 6
+	fp := CampaignFingerprint("sequential", "reference", "", 1, iterations, cfg)
+
+	trace := func(stats *Stats, run func(report func(*TestCase)) Stats) string {
+		var sb strings.Builder
+		s := run(func(tc *TestCase) {
+			sb.WriteString(tc.Verdict.String())
+			sb.WriteByte(';')
+		})
+		if stats != nil {
+			*stats = s
+		}
+		return sb.String()
+	}
+
+	// Uninterrupted durable run: the ground truth.
+	var full Stats
+	fullTrace := trace(&full, func(report func(*TestCase)) Stats {
+		ck, err := OpenCheckpoint(CheckpointConfig{Path: ckPath(t), Every: 1}, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ck.Close()
+		s, err := RunCheckpointedSequential(context.Background(), gdb.NewReference(),
+			cfg, iterations, "reference", ck, DurableHooks{}, report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	if fullTrace == "" {
+		t.Fatal("campaign produced no verdicts")
+	}
+
+	// The same campaign killed (context-canceled) after 2 checkpoints.
+	path := ckPath(t)
+	var canceled context.CancelFunc
+	flushes := 0
+	ck, err := OpenCheckpoint(CheckpointConfig{Path: path, Every: 1,
+		OnFlush: func(int) {
+			if flushes++; flushes == 2 {
+				canceled()
+			}
+		}}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	canceled = cancel
+	defer cancel()
+	partial, err := RunCheckpointedSequential(ctx, gdb.NewReference(),
+		cfg, iterations, "reference", ck, DurableHooks{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	if partial.Graphs != 2 {
+		t.Fatalf("interrupted run completed %d iterations, want 2", partial.Graphs)
+	}
+
+	// Resume: the live tail must replay exactly the uninterrupted stream.
+	restoredUnits := 0
+	var resumed Stats
+	resumedTrace := trace(&resumed, func(report func(*TestCase)) Stats {
+		re, err := OpenCheckpoint(CheckpointConfig{Path: path, Every: 1, Resume: true}, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.Close()
+		s, err := RunCheckpointedSequential(context.Background(), gdb.NewReference(),
+			cfg, iterations, "reference", re, DurableHooks{
+				Restore: func(UnitRecord) { restoredUnits++ },
+			}, report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	if restoredUnits != 2 {
+		t.Fatalf("restored %d units, want 2", restoredUnits)
+	}
+	if resumed.Robust.ResumeFastForwarded != 2 {
+		t.Fatalf("ResumeFastForwarded = %d, want 2", resumed.Robust.ResumeFastForwarded)
+	}
+	// The resumed report stream covers only the live tail; it must be a
+	// suffix of the uninterrupted stream (the restored prefix is not
+	// replayed to the report callback).
+	if !strings.HasSuffix(fullTrace, resumedTrace) || resumedTrace == fullTrace {
+		t.Fatalf("resumed tail is not a proper suffix:\n  full:    %s\n  resumed: %s", fullTrace, resumedTrace)
+	}
+	if scrubCk(resumed) != scrubCk(full) {
+		t.Fatalf("resumed stats diverge:\n  full:    %+v\n  resumed: %+v", scrubCk(full), scrubCk(resumed))
+	}
+}
+
+// TestCheckpointedParallelResume: a sharded campaign canceled after some
+// checkpoints resumes to the same merged stats, skipping completed
+// shards.
+func TestCheckpointedParallelResume(t *testing.T) {
+	pcfg := shardTestConfig()
+	pcfg.Workers = 1 // deterministic completion order for the kill point
+	fp := CampaignFingerprint("sharded", "reference", "", pcfg.Workers, pcfg.Iterations, pcfg.Runner)
+	factory := func(int) (Target, error) { return newRefTarget(nil), nil }
+
+	baseline := RunParallel(pcfg, factory, nil)
+
+	path := ckPath(t)
+	var canceled context.CancelFunc
+	flushes := 0
+	ck, err := OpenCheckpoint(CheckpointConfig{Path: path, Every: 1,
+		OnFlush: func(int) {
+			if flushes++; flushes == 3 {
+				canceled()
+			}
+		}}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	canceled = cancel
+	defer cancel()
+	RunCheckpointedParallel(ctx, pcfg, "reference", factory, nil, ck, DurableHooks{})
+	ck.Close()
+
+	re, err := OpenCheckpoint(CheckpointConfig{Path: path, Every: 1, Resume: true}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := re.Stats(); st.ResumedUnits == 0 || st.ResumedUnits >= pcfg.Iterations {
+		t.Fatalf("kill point restored %d units, want a partial campaign", st.ResumedUnits)
+	}
+	skipped := 0
+	resumed := RunCheckpointedParallel(context.Background(), pcfg, "reference", factory, nil,
+		re, DurableHooks{Restore: func(UnitRecord) { skipped++ }})
+	re.Close()
+
+	if skipped == 0 {
+		t.Fatal("resume ran every shard from scratch")
+	}
+	if resumed.Robust.ResumeFastForwarded != skipped {
+		t.Fatalf("ResumeFastForwarded = %d, want %d", resumed.Robust.ResumeFastForwarded, skipped)
+	}
+	if scrubCk(resumed.Stats) != scrubCk(baseline.Stats) {
+		t.Fatalf("resumed merged stats diverge:\n  baseline: %+v\n  resumed:  %+v",
+			scrubCk(baseline.Stats), scrubCk(resumed.Stats))
+	}
+	for i := range baseline.Shards {
+		a, b := scrubCk(baseline.Shards[i].Stats), scrubCk(resumed.Shards[i].Stats)
+		if a != b {
+			t.Errorf("shard %d stats diverge after resume:\n  baseline: %+v\n  resumed:  %+v", i, a, b)
+		}
+	}
+}
+
+// TestFastForwardMatchesBreakerState: an iteration whose target never
+// came up consumes only the graph draw; FastForward must honor that via
+// the recorded zero query count, and RestoreResilience must reinstate
+// the breaker so the resumed campaign probes instead of re-tripping.
+func TestCheckpointedSequentialResumeThroughOutage(t *testing.T) {
+	tgt := &flakyReset{Target: gdb.NewReference(), down: true}
+	cfg := tinyRunnerConfig()
+	cfg.Seed = 17
+	const iterations = 8
+	fp := CampaignFingerprint("sequential", "flaky", "", 1, iterations, cfg)
+
+	// Baseline: 5 dead iterations (breaker trips), then the target heals.
+	baseRun := func(target Target, healAt int) (Stats, string) {
+		rn := NewRunner(target, cfg)
+		var sb strings.Builder
+		for i := 0; i < iterations; i++ {
+			if i == healAt {
+				tgt.down = false
+			}
+			if err := rn.RunIteration(func(tc *TestCase) {
+				sb.WriteString(tc.Verdict.String())
+				sb.WriteByte(';')
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rn.Stats(), sb.String()
+	}
+	base, baseTrace := baseRun(tgt, 5)
+	if base.Robust.BreakerTrips != 1 || base.Graphs == 0 {
+		t.Fatalf("baseline scenario did not trip+heal: %+v", base.Robust)
+	}
+
+	// Durable run killed during the outage (after 4 dead iterations).
+	tgt2 := &flakyReset{Target: gdb.NewReference(), down: true}
+	path := ckPath(t)
+	ck, err := OpenCheckpoint(CheckpointConfig{Path: path, Every: 1}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	flushes := 0
+	ck.cfg.OnFlush = func(int) {
+		if flushes++; flushes == 4 {
+			cancel()
+		}
+	}
+	if _, err := RunCheckpointedSequential(ctx, tgt2, cfg, iterations, "flaky", ck, DurableHooks{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	ck.Close()
+
+	// Resume with a healed target from iteration 5 on: breaker state must
+	// carry over (open, then probed closed), and the verdict tail must
+	// match the baseline's.
+	tgt2.down = true
+	re, err := OpenCheckpoint(CheckpointConfig{Path: path, Every: 1, Resume: true}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	u, ok := re.Completed("flaky", 3)
+	if !ok || !u.BreakerOpen || u.Queries != 0 {
+		t.Fatalf("outage unit not recorded with open breaker and zero queries: %+v ok=%v", u, ok)
+	}
+	var sb strings.Builder
+	restored := 0
+	s, err := runCheckpointedSequentialHealing(context.Background(), tgt2, cfg, iterations, "flaky", re,
+		DurableHooks{Restore: func(UnitRecord) { restored++ }},
+		func(tc *TestCase) {
+			sb.WriteString(tc.Verdict.String())
+			sb.WriteByte(';')
+		}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 4 {
+		t.Fatalf("restored %d units, want 4", restored)
+	}
+	if !strings.HasSuffix(baseTrace, sb.String()) {
+		t.Fatalf("resumed tail diverges:\n  baseline: %q\n  resumed:  %q", baseTrace, sb.String())
+	}
+	if got, want := scrubCk(s), scrubCk(base); got != want {
+		t.Fatalf("stats diverge:\n  baseline: %+v\n  resumed:  %+v", want, got)
+	}
+}
+
+// runCheckpointedSequentialHealing is RunCheckpointedSequential with a
+// heal hook: the flakyReset target comes up at iteration healAt, mirroring
+// the baseline scenario across the kill/resume boundary.
+func runCheckpointedSequentialHealing(ctx context.Context, target *flakyReset, cfg RunnerConfig,
+	iterations int, name string, ck *Checkpointer, hooks DurableHooks,
+	report func(*TestCase), healAt int) (Stats, error) {
+	var restored Stats
+	var counts []int
+	var last UnitRecord
+	for i := 0; i < iterations; i++ {
+		u, ok := ck.Completed(name, i)
+		if !ok {
+			break
+		}
+		if hooks.Restore != nil {
+			hooks.Restore(u)
+		}
+		restored.Add(u.Stats)
+		counts = append(counts, u.Queries)
+		last = u
+	}
+	rn := NewRunnerCtx(ctx, target, cfg)
+	if len(counts) > 0 {
+		rn.FastForward(counts)
+		rn.RestoreResilience(last.BreakerOpen, last.ConsecFails)
+	}
+	prev := rn.Stats()
+	for i := len(counts); i < iterations; i++ {
+		if i >= healAt {
+			target.down = false
+		}
+		if err := rn.RunIteration(report); err != nil {
+			return restored, err
+		}
+		cur := rn.Stats()
+		open, fails := rn.Breaker()
+		ck.Record(UnitRecord{Target: name, Shard: i, Queries: cur.Queries - prev.Queries,
+			Stats: statsDelta(cur, prev), BreakerOpen: open, ConsecFails: fails})
+		prev = cur
+	}
+	total := restored
+	total.Add(rn.Stats())
+	return total, nil
+}

@@ -98,6 +98,14 @@ type RobustnessStats struct {
 	AbandonedGraphs  int           // graphs abandoned mid-iteration after failed restarts
 	FailedIterations int           // iterations that never got a healthy instance
 	Downtime         time.Duration // total backoff waits (deterministic per seed)
+
+	// Checkpoint/resume accounting (durable campaigns only; zero
+	// otherwise). These are harness-side facts, not target behaviour, and
+	// are therefore excluded from canonical campaign reports.
+	CheckpointsWritten  int           // snapshot records flushed to the journal
+	CheckpointBytes     int64         // framed bytes appended to the journal
+	LastCheckpointAge   time.Duration // age of the newest flush at campaign end
+	ResumeFastForwarded int           // iterations skipped or RNG-replayed on resume
 }
 
 // Add accumulates another stats block; campaign-level reports sum the
@@ -114,6 +122,13 @@ func (s *RobustnessStats) Add(o RobustnessStats) {
 	s.AbandonedGraphs += o.AbandonedGraphs
 	s.FailedIterations += o.FailedIterations
 	s.Downtime += o.Downtime
+	s.CheckpointsWritten += o.CheckpointsWritten
+	s.CheckpointBytes += o.CheckpointBytes
+	if o.LastCheckpointAge > s.LastCheckpointAge {
+		// The merged age is the oldest (most conservative) of the parts.
+		s.LastCheckpointAge = o.LastCheckpointAge
+	}
+	s.ResumeFastForwarded += o.ResumeFastForwarded
 }
 
 // PanicError wraps a panic recovered from a connector call. Unwrap
@@ -182,7 +197,7 @@ func (rn *Runner) executeGuarded(query string, pq *engine.PreparedQuery) execOut
 	if rn.rb.Timeout < 0 {
 		return rn.executeInline(query, pq)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), rn.rb.Timeout)
+	ctx, cancel := context.WithTimeout(rn.ctx, rn.rb.Timeout)
 	defer cancel()
 	ch := make(chan execOutcome, 1)
 	go func() {
@@ -229,7 +244,7 @@ func (rn *Runner) executeInline(query string, pq *engine.PreparedQuery) (o execO
 		}
 	}()
 	if pq != nil && rn.prepared != nil {
-		res, err := rn.prepared.ExecutePrepared(context.Background(), pq)
+		res, err := rn.prepared.ExecutePrepared(rn.ctx, pq)
 		return execOutcome{res: res, err: err}
 	}
 	res, err := rn.target.Execute(query)
@@ -246,13 +261,23 @@ func (rn *Runner) jitter(d time.Duration) time.Duration {
 	return half + time.Duration(rn.jr.Int63n(int64(half)+1))
 }
 
-// pause sleeps for a backoff and books it as downtime.
+// pause waits out a backoff and books it as downtime. The wait is
+// interruptible: a canceled campaign must not stall up to
+// RestartBackoffMax per restart attempt in a plain time.Sleep while the
+// caller is trying to shut down. The booked downtime stays the full
+// deterministic duration either way — cancellation changes how long we
+// actually wait, never the seed-determined accounting.
 func (rn *Runner) pause(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	rn.stats.Robust.Downtime += d
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-rn.ctx.Done():
+	}
 }
 
 // restartBackoff is the wait before restart attempt a: immediate first,

@@ -361,3 +361,95 @@ func TestCampaignReproducible(t *testing.T) {
 		t.Errorf("scenario too tame to prove anything: %+v", statsA)
 	}
 }
+
+// TestPauseInterruptedByCancellation: the restart-backoff pause must not
+// stall a canceled campaign. A dead target under a huge backoff would
+// sleep for minutes per restart sequence; with the context canceled the
+// runner has to bail out of the pause (and the run) almost immediately —
+// while still booking the full deterministic downtime.
+func TestPauseInterruptedByCancellation(t *testing.T) {
+	cfg := tinyRunnerConfig()
+	cfg.Robust.RestartBackoff = 30 * time.Second
+	cfg.Robust.RestartBackoffMax = time.Minute
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rn := NewRunnerCtx(ctx, &flakyReset{Target: gdb.NewReference(), down: true}, cfg)
+	time.AfterFunc(50*time.Millisecond, cancel)
+
+	start := time.Now()
+	done := make(chan Stats, 1)
+	go func() {
+		st, _ := rn.Run(3, nil)
+		done <- st
+	}()
+	select {
+	case st := <-done:
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Errorf("canceled run still waited %v in backoff pauses", waited)
+		}
+		if st.Robust.Downtime < 30*time.Second {
+			t.Errorf("Downtime = %v; cancellation must cut the wait, not the deterministic accounting", st.Robust.Downtime)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled runner stuck in a backoff pause")
+	}
+}
+
+// TestBreakerHalfOpenProbeFailure pins the open-breaker economics that
+// TestBreakerTripsAndCampaignContinues only brushes past: while the
+// target stays dead, every iteration costs exactly one failed half-open
+// probe — no restart sequence, no new trip, no backoff downtime — and
+// the breaker stays open until a probe finally succeeds.
+func TestBreakerHalfOpenProbeFailure(t *testing.T) {
+	tgt := &flakyReset{Target: gdb.NewReference(), down: true}
+	rn := NewRunner(tgt, tinyRunnerConfig())
+
+	// Trip the breaker (DefaultRobustness threshold: 3 failed sequences).
+	if _, err := rn.Run(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := rn.Stats()
+	if open, _ := rn.Breaker(); !open || st.Robust.BreakerTrips != 1 {
+		t.Fatalf("breaker not tripped after 3 dead iterations: open=%v %+v", open, st.Robust)
+	}
+	base := st.Robust
+
+	// Dead target, open breaker: each iteration is one cheap failed probe.
+	const probes = 4
+	if _, err := rn.Run(probes, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = rn.Stats()
+	if open, _ := rn.Breaker(); !open {
+		t.Error("failed probes must leave the breaker open")
+	}
+	if got := st.Robust.RestartFailures - base.RestartFailures; got != probes {
+		t.Errorf("RestartFailures grew by %d over %d open iterations, want exactly one probe each", got, probes)
+	}
+	if st.Robust.Restarts != base.Restarts {
+		t.Errorf("Restarts grew during failed probes: %+v", st.Robust)
+	}
+	if st.Robust.BreakerTrips != 1 {
+		t.Errorf("BreakerTrips = %d, an already-open breaker must not re-trip", st.Robust.BreakerTrips)
+	}
+	if st.Robust.Downtime != base.Downtime {
+		t.Errorf("failed probes booked %v extra downtime, want none (probes skip the backoff ladder)",
+			st.Robust.Downtime-base.Downtime)
+	}
+	if st.Robust.FailedIterations-base.FailedIterations != probes {
+		t.Errorf("FailedIterations grew by %d, want %d", st.Robust.FailedIterations-base.FailedIterations, probes)
+	}
+
+	// Heal: the next probe closes the breaker with a single restart.
+	tgt.down = false
+	if _, err := rn.Run(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = rn.Stats()
+	if open, fails := rn.Breaker(); open || fails != 0 {
+		t.Errorf("successful probe must close the breaker and clear the streak: open=%v fails=%d", open, fails)
+	}
+	if st.Robust.Restarts != base.Restarts+1 {
+		t.Errorf("Restarts = %d, want %d (exactly the closing probe)", st.Robust.Restarts, base.Restarts+1)
+	}
+}

@@ -145,6 +145,10 @@ type Stats struct {
 type Runner struct {
 	cfg    RunnerConfig
 	target Target
+	// ctx cancels the campaign: iteration loops stop between queries,
+	// backoff pauses wake immediately, and in-flight queries inherit it
+	// under the per-query deadline. Always non-nil (Background default).
+	ctx context.Context
 	// prepared is target's prepared-execution extension, nil when the
 	// target only speaks text; snapshot is its copy-on-write restart
 	// extension, nil when the target only takes deep-copy Resets.
@@ -181,12 +185,27 @@ func NewRunner(target Target, cfg RunnerConfig) *Runner {
 	rn := &Runner{
 		cfg:    cfg,
 		target: target,
+		ctx:    context.Background(),
 		r:      rand.New(rand.NewSource(cfg.Seed)),
 		rb:     cfg.Robust.withDefaults(),
 		jr:     rand.New(rand.NewSource(cfg.Seed ^ 0x6a77_3b2c_9d1e_5f48)),
 	}
 	rn.prepared, _ = target.(PreparedTarget)
 	rn.snapshot, _ = target.(SnapshotTarget)
+	return rn
+}
+
+// NewRunnerCtx creates a runner whose campaign can be canceled: once ctx
+// is done, Run stops between iterations, the iteration loops stop
+// between queries, backoff waits return immediately, and in-flight
+// queries are canceled under their per-query deadline. Cancellation
+// never corrupts determinism — a canceled iteration is simply not
+// reported as complete by the checkpoint layer.
+func NewRunnerCtx(ctx context.Context, target Target, cfg RunnerConfig) *Runner {
+	rn := NewRunner(target, cfg)
+	if ctx != nil {
+		rn.ctx = ctx
+	}
 	return rn
 }
 
@@ -235,9 +254,9 @@ func (rn *Runner) RunIteration(report func(*TestCase)) error {
 	synthCfg.ProvidesDBLabels = rn.target.ProvidesDBLabels()
 	syn := NewSynthesizer(rn.r, g, schema, synthCfg)
 
-	for q := 0; q < rn.cfg.QueriesPerGraph && !rn.abandonGraph; q++ {
+	for q := 0; q < rn.cfg.QueriesPerGraph && !rn.abandonGraph && rn.ctx.Err() == nil; q++ {
 		gt := SelectGroundTruth(rn.r, g, rn.cfg.Plan().MaxResultSet)
-		for k := 0; k < rn.cfg.QueriesPerGT && !rn.abandonGraph; k++ {
+		for k := 0; k < rn.cfg.QueriesPerGT && !rn.abandonGraph && rn.ctx.Err() == nil; k++ {
 			tc := rn.runOne(syn, gt)
 			tc.Graph, tc.Schema = g, schema
 			if report != nil {
@@ -400,6 +419,9 @@ func classifyError(err error) Verdict {
 // abort the campaign.
 func (rn *Runner) Run(n int, report func(*TestCase)) (Stats, error) {
 	for i := 0; i < n; i++ {
+		if rn.ctx.Err() != nil {
+			break
+		}
 		if err := rn.RunIteration(report); err != nil {
 			// Defensive: RunIteration absorbs failures itself today,
 			// but a future error path must still not kill the campaign.
@@ -407,4 +429,47 @@ func (rn *Runner) Run(n int, report func(*TestCase)) (Stats, error) {
 		}
 	}
 	return rn.stats, nil
+}
+
+// FastForward deterministically replays the RNG draws of already-
+// completed iterations without executing anything against the target:
+// the resume path of a checkpointed sequential campaign. counts[i] is
+// the number of test cases iteration i produced (0 for an iteration
+// whose target never came up — such an iteration consumed only the
+// graph-generation draws). The runner's graph/synthesis RNG stream and
+// test-case sequence numbers end up exactly where a live run of those
+// iterations would have left them; execution-side state (the jitter
+// stream, connector-internal RNG positions) is intentionally not
+// replayed because it never feeds verdicts — see DESIGN.md §10.
+func (rn *Runner) FastForward(counts []int) {
+	for _, count := range counts {
+		g, schema := graph.Generate(rn.r, rn.cfg.Graph)
+		rn.stats.Robust.ResumeFastForwarded++
+		if count <= 0 {
+			// ensureUp failed on this iteration: the live run drew only
+			// the graph, never constructing the synthesizer.
+			continue
+		}
+		synthCfg := rn.cfg.Synth
+		synthCfg.RelUniqueness = rn.target.RelUniqueness()
+		synthCfg.ProvidesDBLabels = rn.target.ProvidesDBLabels()
+		syn := NewSynthesizer(rn.r, g, schema, synthCfg)
+		replayed := 0
+		for q := 0; q < rn.cfg.QueriesPerGraph && replayed < count; q++ {
+			gt := SelectGroundTruth(rn.r, g, rn.cfg.Plan().MaxResultSet)
+			for k := 0; k < rn.cfg.QueriesPerGT && replayed < count; k++ {
+				syn.Synthesize(gt) //nolint:errcheck // a failed synthesis consumed the same draws live
+				rn.seq++
+				replayed++
+			}
+		}
+	}
+}
+
+// RestoreResilience reinstates the circuit-breaker state a checkpointed
+// campaign recorded, so a resumed runner treats a dead target exactly as
+// the killed one was treating it.
+func (rn *Runner) RestoreResilience(breakerOpen bool, consecFails int) {
+	rn.breakerOpen = breakerOpen
+	rn.consecFails = consecFails
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -61,6 +62,18 @@ type ParallelConfig struct {
 	// Runner configures each shard's runner. Runner.Seed is the campaign
 	// seed; shard i runs with ShardSeed(Runner.Seed, i).
 	Runner RunnerConfig
+	// SkipShard, when set, lets a resumed campaign skip already-completed
+	// shards: return that shard's recorded stats and true to place them
+	// in the shard's slot without running it. Called once per shard from
+	// the feed loop (a single goroutine), before the shard is enqueued.
+	SkipShard func(shard int) (Stats, bool)
+	// ShardDone observes each shard that ran to completion, called from
+	// the worker goroutine that ran it immediately afterwards. It is not
+	// called for shards skipped via SkipShard, nor for shards still in
+	// flight when the context is canceled — cancellation is monotonic, so
+	// a ShardDone call guarantees the shard's full, uninterrupted stats.
+	// Callers touching shared state must synchronize.
+	ShardDone func(shard int, s Stats)
 }
 
 // ShardStats is one shard's outcome.
@@ -120,19 +133,45 @@ func (s *Stats) Add(o Stats) {
 // Stats.Robust), never the campaign — the same degraded-not-dead
 // contract the sequential runner keeps.
 func RunParallel(cfg ParallelConfig, factory TargetFactory, observe func(shard int, target Target, tc *TestCase)) *ParallelStats {
+	return RunParallelCtx(context.Background(), cfg, factory, observe)
+}
+
+// RunParallelCtx is RunParallel under a cancelable context: once ctx is
+// done the feed loop stops enqueueing shards, idle workers drain the
+// queue without running, and in-flight shards stop between queries. A
+// canceled run still returns merged stats for whatever completed; the
+// checkpoint layer's ShardDone hook sees exactly the shards that ran to
+// completion before cancellation.
+func RunParallelCtx(ctx context.Context, cfg ParallelConfig, factory TargetFactory, observe func(shard int, target Target, tc *TestCase)) *ParallelStats {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	n := cfg.Iterations
 	if n < 0 {
 		n = 0
 	}
+	perShard := make([]Stats, n)
+	// Resume pass: already-completed shards get their recorded stats and
+	// never reach the queue. The feed loop below only sees the rest.
+	pending := make([]int, 0, n)
+	for shard := 0; shard < n; shard++ {
+		if cfg.SkipShard != nil {
+			if s, ok := cfg.SkipShard(shard); ok {
+				s.Robust.ResumeFastForwarded++
+				perShard[shard] = s
+				continue
+			}
+		}
+		pending = append(pending, shard)
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if workers > len(pending) {
+		workers = len(pending)
 	}
-	perShard := make([]Stats, n)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -147,32 +186,41 @@ func RunParallel(cfg ParallelConfig, factory TargetFactory, observe func(shard i
 			var reused Target
 			defer closeTarget(&reused)
 			for shard := range jobs {
+				if ctx.Err() != nil {
+					continue // canceled: drain the queue without running
+				}
 				if reused != nil {
 					reused.(ShardSeeder).SeedShard(shard)
-					perShard[shard] = runShardOn(cfg, shard, reused, observe)
-					continue
-				}
-				target, err := factory(shard)
-				if err != nil {
+					perShard[shard] = runShardOn(ctx, cfg, shard, reused, observe)
+				} else if target, err := factory(shard); err != nil {
 					var s Stats
 					s.Robust.FailedIterations++
 					perShard[shard] = s
-					continue
-				}
-				if _, ok := target.(ShardSeeder); ok {
+				} else if _, ok := target.(ShardSeeder); ok {
 					// The factory seeds the instance for its shard index,
 					// so the first shard needs no SeedShard call.
 					reused = target
-					perShard[shard] = runShardOn(cfg, shard, reused, observe)
-					continue
+					perShard[shard] = runShardOn(ctx, cfg, shard, reused, observe)
+				} else {
+					perShard[shard] = runShardOn(ctx, cfg, shard, target, observe)
+					closeTarget(&target)
 				}
-				perShard[shard] = runShardOn(cfg, shard, target, observe)
-				closeTarget(&target)
+				// Cancellation is monotonic: a nil ctx.Err() here proves
+				// the whole shard ran uninterrupted, so recording it as
+				// complete is safe even though the check races the cancel.
+				if ctx.Err() == nil && cfg.ShardDone != nil {
+					cfg.ShardDone(shard, perShard[shard])
+				}
 			}
 		}()
 	}
-	for shard := 0; shard < n; shard++ {
-		jobs <- shard
+feed:
+	for _, shard := range pending {
+		select {
+		case jobs <- shard:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -201,10 +249,10 @@ func closeTarget(t *Target) {
 // fresh shard seed, fresh runner, one workflow iteration. The runner is
 // cheap to construct; only the connector (engine + fault catalog) is
 // worth reusing across shards.
-func runShardOn(cfg ParallelConfig, shard int, target Target, observe func(int, Target, *TestCase)) Stats {
+func runShardOn(ctx context.Context, cfg ParallelConfig, shard int, target Target, observe func(int, Target, *TestCase)) Stats {
 	rcfg := cfg.Runner
 	rcfg.Seed = ShardSeed(cfg.Runner.Seed, shard)
-	rn := NewRunner(target, rcfg)
+	rn := NewRunnerCtx(ctx, target, rcfg)
 	var report func(*TestCase)
 	if observe != nil {
 		report = func(tc *TestCase) { observe(shard, target, tc) }

@@ -66,6 +66,79 @@ type BenchResult struct {
 	// Snapshot is the micro-comparison of the copy-on-write Reset path
 	// against the legacy deep-clone Reset (DESIGN.md §9).
 	Snapshot *SnapshotBenchResult `json:"snapshot,omitempty"`
+
+	// Checkpoint is the durable-campaign overhead comparison: the same
+	// single-worker campaign with and without a checkpoint journal
+	// (DESIGN.md §10).
+	Checkpoint *CheckpointBenchResult `json:"checkpoint,omitempty"`
+}
+
+// CheckpointBenchResult quantifies what crash-safe checkpointing costs a
+// campaign. WritePct is the gated number: the fraction of the durable
+// campaign's wall-clock spent appending and fsyncing journal records —
+// attributed I/O, immune to scheduling noise. OverheadPct (durable vs
+// plain wall-clock) is recorded for context but noisy at campaign scale.
+type CheckpointBenchResult struct {
+	Every           int     `json:"every"`
+	PlainSeconds    float64 `json:"plain_seconds"`
+	DurableSeconds  float64 `json:"durable_seconds"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	WriteSeconds    float64 `json:"write_seconds"`
+	WritePct        float64 `json:"write_pct"`
+	Checkpoints     int     `json:"checkpoints"`
+	CheckpointBytes int64   `json:"checkpoint_bytes"`
+	// DigestOK is the durability cross-check: the durable campaign's
+	// canonical bug report equals the plain campaign's.
+	DigestOK bool `json:"digest_ok"`
+}
+
+// measureCheckpointOverhead times one single-worker campaign plain and
+// once more under a checkpoint journal flushing every 100 units.
+func measureCheckpointOverhead(seed int64, iterations int) *CheckpointBenchResult {
+	cfg := DefaultCampaignConfig()
+	cfg.Seed = seed
+	cfg.Iterations = iterations
+	cfg.Workers = 1
+
+	start := time.Now()
+	plain := RunGQSCampaign(cfg)
+	plainSec := time.Since(start).Seconds()
+
+	dir, err := os.MkdirTemp("", "gqs-bench-ck")
+	if err != nil {
+		return nil
+	}
+	defer os.RemoveAll(dir)
+	const every = 100
+	ck, err := core.OpenCheckpoint(core.CheckpointConfig{
+		Path: dir + "/bench.journal", Every: every,
+	}, CampaignFingerprint(cfg))
+	if err != nil {
+		return nil
+	}
+	start = time.Now()
+	durable := RunGQSCampaignDurable(context.Background(), cfg, ck)
+	ck.Flush() //nolint:errcheck // stats below carry any failure
+	durableSec := time.Since(start).Seconds()
+	st := ck.Stats()
+	ck.Close()
+
+	res := &CheckpointBenchResult{
+		Every:           every,
+		PlainSeconds:    plainSec,
+		DurableSeconds:  durableSec,
+		WriteSeconds:    st.WriteTime.Seconds(),
+		Checkpoints:     st.Written,
+		CheckpointBytes: st.Bytes,
+		DigestOK:        durable.CanonicalBugReport() == plain.CanonicalBugReport(),
+	}
+	if plainSec > 0 {
+		res.OverheadPct = (durableSec - plainSec) / plainSec * 100
+	}
+	if durableSec > 0 {
+		res.WritePct = st.WriteTime.Seconds() / durableSec * 100
+	}
+	return res
 }
 
 // SnapshotBenchResult quantifies what copy-on-write snapshots buy the
@@ -325,6 +398,7 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 	}
 	res.ParseShare = measureParseShare(seed)
 	res.Snapshot = measureSnapshotReset(seed)
+	res.Checkpoint = measureCheckpointOverhead(seed, iterations)
 
 	fmt.Fprintf(w, "== Sharded-executor throughput (seed %d, %d iterations/GDB, GOMAXPROCS %d) ==\n",
 		seed, iterations, res.GOMAXPROCS)
@@ -350,6 +424,14 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 			sb.ResetAfterWriteNs, sb.OverlayCopiesPerWriteReset)
 		fmt.Fprintf(w, "  deep-clone:  %8.0f ns/reset  (%.2fx slower than COW)\n",
 			sb.ResetCloneNs, sb.CloneVsCOWSpeedup)
+	}
+	if cb := res.Checkpoint; cb != nil {
+		fmt.Fprintf(w, "checkpoint overhead (every %d units, workers=1):\n", cb.Every)
+		fmt.Fprintf(w, "  plain:   %6.2fs   durable: %6.2fs  (%+.1f%% wall-clock)\n",
+			cb.PlainSeconds, cb.DurableSeconds, cb.OverheadPct)
+		fmt.Fprintf(w, "  journal: %d snapshots, %d bytes, %.4fs write time (%.2f%% of campaign, gate <= 1%%)\n",
+			cb.Checkpoints, cb.CheckpointBytes, cb.WriteSeconds, cb.WritePct)
+		fmt.Fprintf(w, "  identical bug report plain vs durable: %v\n", cb.DigestOK)
 	}
 	return res
 }

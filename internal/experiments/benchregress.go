@@ -24,6 +24,22 @@ func BenchRegress(w io.Writer, currentPath string, previousPaths []string) error
 	}
 	fmt.Fprintf(w, "== bench-regress: %s (%.1f iterations/s, %d findings) ==\n",
 		currentPath, cur.ParallelIterSec, cur.Findings)
+	// The durable-campaign gates are absolute, not baseline-relative:
+	// journal writes must stay under 1% of the campaign's wall-clock, and
+	// the durable run must reproduce the plain run's bug report.
+	if cb := cur.Checkpoint; cb != nil {
+		fmt.Fprintf(w, "checkpoint: %.2f%% write time (gate <= 1%%), digest ok: %v\n",
+			cb.WritePct, cb.DigestOK)
+		if cb.WritePct > 1.0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: checkpoint journal writes cost %.2f%% of the campaign, gate is 1%%",
+				currentPath, cb.WritePct))
+		}
+		if !cb.DigestOK {
+			failures = append(failures, fmt.Sprintf(
+				"%s: durable campaign's bug report differs from the plain campaign's", currentPath))
+		}
+	}
 	for _, p := range previousPaths {
 		prev, err := ReadBenchJSON(p)
 		if err != nil {

@@ -107,12 +107,12 @@ func RunGQSCampaign(cfg CampaignConfig) *Campaign {
 	return c
 }
 
-func (c *Campaign) runOn(sim *gdb.Sim, cfg CampaignConfig) {
-	seen := map[string]bool{}
-	for _, f := range c.Findings {
-		seen[f.Bug.ID] = true
-	}
-	rcfg := core.RunnerConfig{
+// campaignRunnerConfig is the one runner configuration every campaign
+// executor — sequential, sharded, durable — derives from a
+// CampaignConfig. Keeping it single-sourced is what lets the checkpoint
+// fingerprint and the RNG fast-forward agree with the live executors.
+func campaignRunnerConfig(cfg CampaignConfig) core.RunnerConfig {
+	return core.RunnerConfig{
 		Seed:            cfg.Seed,
 		Graph:           cfg.Graph,
 		Synth:           cfg.Synth,
@@ -120,6 +120,14 @@ func (c *Campaign) runOn(sim *gdb.Sim, cfg CampaignConfig) {
 		QueriesPerGT:    2,
 		Robust:          cfg.Robust,
 	}
+}
+
+func (c *Campaign) runOn(sim *gdb.Sim, cfg CampaignConfig) {
+	seen := map[string]bool{}
+	for _, f := range c.Findings {
+		seen[f.Bug.ID] = true
+	}
+	rcfg := campaignRunnerConfig(cfg)
 	sim.SetLiveFaults(cfg.Live)
 	var tgt gdb.Connector = sim
 	if cfg.FlakyRate > 0 {

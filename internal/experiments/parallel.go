@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -49,11 +51,23 @@ type shardLog struct {
 
 // runShardedCampaign is the Workers >= 1 executor behind RunGQSCampaign.
 func runShardedCampaign(cfg CampaignConfig) *Campaign {
+	return runShardedCampaignCtx(context.Background(), cfg, nil)
+}
+
+// runShardedCampaignCtx is the sharded executor under a cancelable
+// context and an optional checkpointer (nil ⇒ plain run): completed
+// shards are journaled, restored shards are skipped, and cancellation
+// stops between shards. A canceled campaign's merge covers only what
+// completed — callers resuming later discard it.
+func runShardedCampaignCtx(ctx context.Context, cfg CampaignConfig, ck *core.Checkpointer) *Campaign {
 	meter := metrics.NewMeter()
 	c := &Campaign{Workers: cfg.Workers}
 	seen := map[string]bool{}
 	for _, sim := range gdb.All() {
-		runShardedOn(c, sim.Name(), cfg, seen, meter)
+		if ctx.Err() != nil {
+			break
+		}
+		runShardedOn(ctx, c, sim.Name(), cfg, seen, meter, ck)
 	}
 	for range c.Findings {
 		meter.AddBug()
@@ -65,7 +79,7 @@ func runShardedCampaign(cfg CampaignConfig) *Campaign {
 
 // runShardedOn runs the sharded campaign against one GDB and merges the
 // shard logs into c in canonical order.
-func runShardedOn(c *Campaign, gdbName string, cfg CampaignConfig, seen map[string]bool, meter *metrics.Meter) {
+func runShardedOn(ctx context.Context, c *Campaign, gdbName string, cfg CampaignConfig, seen map[string]bool, meter *metrics.Meter, ck *core.Checkpointer) {
 	n := cfg.Iterations
 	if n <= 0 {
 		return
@@ -73,14 +87,7 @@ func runShardedOn(c *Campaign, gdbName string, cfg CampaignConfig, seen map[stri
 	pcfg := core.ParallelConfig{
 		Workers:    cfg.Workers,
 		Iterations: n,
-		Runner: core.RunnerConfig{
-			Seed:            cfg.Seed,
-			Graph:           cfg.Graph,
-			Synth:           cfg.Synth,
-			QueriesPerGraph: 6,
-			QueriesPerGT:    2,
-			Robust:          cfg.Robust,
-		},
+		Runner:     campaignRunnerConfig(cfg),
 	}
 	connect := gdb.NewFactory(gdb.FactoryConfig{
 		GDB:       gdbName,
@@ -92,10 +99,20 @@ func runShardedOn(c *Campaign, gdbName string, cfg CampaignConfig, seen map[stri
 
 	// Shard slots are disjoint and observer calls per shard are
 	// sequential, so the logs need no locking (see RunParallel's
-	// observer contract).
+	// observer contract). The checkpoint hooks obey the same slotting:
+	// Payload runs on the worker that just finished the shard, Restore on
+	// the single-threaded feed loop before any worker starts.
 	logs := make([]shardLog, n)
+	hooks := core.DurableHooks{
+		Payload: func(_ string, shard int) json.RawMessage { return encodeShardLog(&logs[shard]) },
+		Restore: func(u core.UnitRecord) {
+			if u.Shard >= 0 && u.Shard < n {
+				logs[u.Shard] = decodeShardLog(gdbName, u.Payload)
+			}
+		},
+	}
 	start := time.Now()
-	ps := core.RunParallel(pcfg, factory, func(shard int, target core.Target, tc *core.TestCase) {
+	ps := core.RunCheckpointedParallel(ctx, pcfg, gdbName, factory, func(shard int, target core.Target, tc *core.TestCase) {
 		log := &logs[shard]
 		log.queries++
 		meter.AddQuery()
@@ -131,21 +148,27 @@ func runShardedOn(c *Campaign, gdbName string, cfg CampaignConfig, seen map[stri
 			schema:   tc.Schema,
 			latency:  time.Since(start),
 		})
-	})
+	}, ck, hooks)
 	meter.AddIterations(n)
 	c.Robust.Add(ps.Robust)
+	mergeShardLogs(c, gdbName, logs, seen, true)
+}
 
-	// Canonical merge: ascending shard order, AtQuery = campaign queries
-	// so far + earlier shards' query counts + the shard-local index.
+// mergeShardLogs folds buffered per-shard detections into the campaign
+// in canonical order: ascending shard index, AtQuery = campaign queries
+// so far + earlier shards' query counts + the shard-local index. With
+// shardIndexed false the logs are sequential iterations of the legacy
+// executor, whose findings report Shard 0 (see Finding.Shard).
+func mergeShardLogs(c *Campaign, gdbName string, logs []shardLog, seen map[string]bool, shardIndexed bool) {
 	base := c.Queries
-	for shard := 0; shard < n; shard++ {
+	for shard := range logs {
 		log := logs[shard]
 		for _, ev := range log.events {
 			if seen[ev.bug.ID] {
 				continue
 			}
 			seen[ev.bug.ID] = true
-			c.Findings = append(c.Findings, &Finding{
+			f := &Finding{
 				Bug:      ev.bug,
 				GDB:      gdbName,
 				Query:    ev.query,
@@ -154,9 +177,12 @@ func runShardedOn(c *Campaign, gdbName string, cfg CampaignConfig, seen map[stri
 				AtQuery:  base + ev.atLocal,
 				Graph:    ev.graph,
 				Schema:   ev.schema,
-				Shard:    shard,
 				Latency:  ev.latency,
-			})
+			}
+			if shardIndexed {
+				f.Shard = shard
+			}
+			c.Findings = append(c.Findings, f)
 		}
 		base += log.queries
 		c.Skips += log.skips

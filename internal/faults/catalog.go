@@ -1,6 +1,11 @@
 package faults
 
-import "time"
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+)
 
 // The injected-fault catalog. The per-GDB counts reproduce Table 3 of
 // the paper (26 logic + 10 other bugs; confirmed/fixed as reported), the
@@ -11,6 +16,27 @@ import "time"
 //
 // Each bug is modelled on a bug class the paper documents; the Figure
 // references are noted inline.
+
+// CatalogFingerprint hashes the catalogs' testing-relevant identity:
+// every bug's ID, kind, manifestation, and trigger, per GDB in sorted
+// order. Campaign checkpoints embed it so a journal written against one
+// catalog is never resumed against an edited one (restored findings are
+// re-resolved by bug ID — see the experiments checkpoint codec).
+func CatalogFingerprint() string {
+	cats := Catalogs()
+	names := make([]string, 0, len(cats))
+	for name := range cats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, name := range names {
+		for _, b := range cats[name].Bugs {
+			fmt.Fprintf(h, "%s|%s|%v|%v|%+v\n", name, b.ID, b.Kind, b.Manifest, b.Trigger)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
 
 // Catalogs returns the catalog for each simulated GDB.
 func Catalogs() map[string]*Set {

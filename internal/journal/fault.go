@@ -1,0 +1,98 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the fault-injection seam the durability tests drive the
+// journal through: a File wrapper that tears writes, fails fsyncs, and
+// "kills the process" mid-write — the failure modes a crash-safe journal
+// must reduce to a clean torn tail.
+
+// ErrInjected marks a scripted fault from a FaultFile.
+var ErrInjected = errors.New("journal: injected fault")
+
+// ErrKilled marks the injected process death: once a FaultFile is
+// killed, every later write and sync fails with it, modeling a process
+// that died mid-append and never touched the file again.
+var ErrKilled = errors.New("journal: injected kill")
+
+// FaultConfig scripts the failures a FaultFile injects. Indices are
+// 1-based counts of calls on this file; zero disables each fault.
+type FaultConfig struct {
+	// ShortWriteAt makes the Nth Write persist only half its bytes and
+	// return an error — an in-flight write torn by a full disk or a
+	// signal. Later calls proceed normally (the journal is expected to
+	// have marked itself broken regardless).
+	ShortWriteAt int
+	// FailSyncAt makes the Nth Sync return an error once. The preceding
+	// write may or may not be durable — exactly the ambiguity a journal
+	// must treat as "tail unknown".
+	FailSyncAt int
+	// KillAfterBytes kills the file once this many total bytes have been
+	// written: the write in flight persists only up to the limit (a torn
+	// frame reaches disk) and every later Write/Sync fails with
+	// ErrKilled.
+	KillAfterBytes int64
+}
+
+// FaultFile wraps a File with scripted write/sync failures.
+type FaultFile struct {
+	inner   File
+	cfg     FaultConfig
+	writes  int
+	syncs   int
+	written int64
+	killed  bool
+}
+
+// NewFaultFile wraps inner with the scripted faults.
+func NewFaultFile(inner File, cfg FaultConfig) *FaultFile {
+	return &FaultFile{inner: inner, cfg: cfg}
+}
+
+// Killed reports whether the injected process death has happened.
+func (f *FaultFile) Killed() bool { return f.killed }
+
+// Write implements File with the scripted short-write and kill faults.
+func (f *FaultFile) Write(p []byte) (int, error) {
+	if f.killed {
+		return 0, ErrKilled
+	}
+	f.writes++
+	if f.cfg.ShortWriteAt == f.writes && len(p) > 1 {
+		n, _ := f.inner.Write(p[:len(p)/2])
+		f.written += int64(n)
+		return n, fmt.Errorf("short write after %d bytes: %w", n, ErrInjected)
+	}
+	if f.cfg.KillAfterBytes > 0 && f.written+int64(len(p)) > f.cfg.KillAfterBytes {
+		keep := f.cfg.KillAfterBytes - f.written
+		if keep < 0 {
+			keep = 0
+		}
+		n, _ := f.inner.Write(p[:keep])
+		f.inner.Sync() //nolint:errcheck // worst case: the torn bytes reach disk
+		f.written += int64(n)
+		f.killed = true
+		return n, ErrKilled
+	}
+	n, err := f.inner.Write(p)
+	f.written += int64(n)
+	return n, err
+}
+
+// Sync implements File with the scripted fsync fault.
+func (f *FaultFile) Sync() error {
+	if f.killed {
+		return ErrKilled
+	}
+	f.syncs++
+	if f.cfg.FailSyncAt == f.syncs {
+		return fmt.Errorf("fsync: %w", ErrInjected)
+	}
+	return f.inner.Sync()
+}
+
+// Close implements File.
+func (f *FaultFile) Close() error { return f.inner.Close() }

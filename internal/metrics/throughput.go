@@ -11,10 +11,11 @@ import (
 // printer, the final summary) can take a consistent-enough Snapshot at
 // any time without stopping the pool.
 type Meter struct {
-	start      time.Time
-	iterations atomic.Int64
-	queries    atomic.Int64
-	bugs       atomic.Int64
+	start       time.Time
+	iterations  atomic.Int64
+	queries     atomic.Int64
+	bugs        atomic.Int64
+	checkpoints atomic.Int64
 }
 
 // NewMeter starts a meter; rates are measured from this instant.
@@ -29,21 +30,27 @@ func (m *Meter) AddQuery() { m.queries.Add(1) }
 // AddBug records one distinct-bug detection.
 func (m *Meter) AddBug() { m.bugs.Add(1) }
 
+// AddCheckpoints records checkpoint snapshots flushed to the journal
+// during the campaign.
+func (m *Meter) AddCheckpoints(n int) { m.checkpoints.Add(int64(n)) }
+
 // Throughput is a point-in-time reading of a Meter.
 type Throughput struct {
-	Iterations int64
-	Queries    int64
-	Bugs       int64
-	Elapsed    time.Duration
+	Iterations  int64
+	Queries     int64
+	Bugs        int64
+	Checkpoints int64
+	Elapsed     time.Duration
 }
 
 // Snapshot reads the counters.
 func (m *Meter) Snapshot() Throughput {
 	return Throughput{
-		Iterations: m.iterations.Load(),
-		Queries:    m.queries.Load(),
-		Bugs:       m.bugs.Load(),
-		Elapsed:    time.Since(m.start),
+		Iterations:  m.iterations.Load(),
+		Queries:     m.queries.Load(),
+		Bugs:        m.bugs.Load(),
+		Checkpoints: m.checkpoints.Load(),
+		Elapsed:     time.Since(m.start),
 	}
 }
 
@@ -60,10 +67,16 @@ func rate(n int64, d time.Duration) float64 {
 	return float64(n) / d.Seconds()
 }
 
-// String renders the throughput summary line campaigns print.
+// String renders the throughput summary line campaigns print. The
+// checkpoint count appears only on durable campaigns, keeping the
+// plain-campaign line unchanged.
 func (t Throughput) String() string {
-	return fmt.Sprintf("%.1f iterations/s, %.1f queries/s (%d iterations, %d queries, %d bugs in %.1fs)",
+	s := fmt.Sprintf("%.1f iterations/s, %.1f queries/s (%d iterations, %d queries, %d bugs in %.1fs)",
 		t.IterationsPerSec(), t.QueriesPerSec(), t.Iterations, t.Queries, t.Bugs, t.Elapsed.Seconds())
+	if t.Checkpoints > 0 {
+		s += fmt.Sprintf(" [%d checkpoints]", t.Checkpoints)
+	}
+	return s
 }
 
 // LatencySummary summarizes per-shard bug latencies (time from shard
