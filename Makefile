@@ -18,17 +18,21 @@ race:
 # worker and at >=2 workers (GOMAXPROCS forced to >=2 for the parallel
 # leg), plus the prepared-vs-text parse-share micro-comparison, the
 # COW-vs-clone snapshot-reset micro-comparison, and the durable-campaign
-# checkpoint-overhead comparison; writes BENCH_pr6.json and fails if the
-# two campaign runs report different bug sets.
+# checkpoint-overhead comparison (min of 3 reps per leg); writes
+# BENCH_pr7.json — including the parallel_efficiency (speedup / workers)
+# the regression gate tracks — and fails if the two campaign runs report
+# different bug sets.
 bench:
-	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr6.json
+	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr7.json
 
-# Regression gate: compares BENCH_pr6.json against every other
+# Regression gate: compares BENCH_pr7.json against every other
 # BENCH_*.json and fails on >10% parallel-throughput regression, a
-# like-for-like bug-set mismatch, checkpoint-journal write time above 1%
-# of the campaign, or a durable-vs-plain bug-report mismatch.
+# parallel-efficiency regression vs a baseline at the same worker count,
+# a like-for-like bug-set mismatch, checkpoint-journal write time or
+# total durable overhead above 1% of the campaign, or a durable-vs-plain
+# bug-report mismatch.
 bench-regress:
-	$(GO) run ./cmd/gqs-bench -exp bench-regress -bench-out BENCH_pr6.json
+	$(GO) run ./cmd/gqs-bench -exp bench-regress -bench-out BENCH_pr7.json
 
 # Go micro-benchmarks (the pre-existing bench target).
 bench-go:

@@ -51,6 +51,28 @@ type options struct {
 	flaky      float64
 	live       bool
 	workers    int
+	batch      int
+}
+
+// resolvedBatch is the effective work-unit size of the sharded
+// executor: -batch when given, else ~4 units per worker (clamped to
+// [1, 16]). A pure function of the options — it feeds the checkpoint
+// fingerprint, which must not depend on the machine.
+func (o options) resolvedBatch() int {
+	if o.batch > 0 {
+		return o.batch
+	}
+	if o.workers < 1 {
+		return 1
+	}
+	b := o.iterations / (o.workers * 4)
+	if b < 1 {
+		b = 1
+	}
+	if b > 16 {
+		b = 16
+	}
+	return b
 }
 
 func main() {
@@ -69,6 +91,7 @@ func main() {
 		flaky      = flag.Float64("flaky", 0, "inject transient connector errors at this rate (0..1) to exercise the retry machinery")
 		live       = flag.Bool("live", false, "manifest injected faults live: hangs block until the deadline, crashes panic in the connector")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for the sharded executor; the reported bug set is identical for every value at the same seed (0 = legacy sequential runner)")
+		batchSize  = flag.Int("batch", 0, "iterations per work unit in the sharded executor (0 = automatic, ~4 units per worker); the reported bug set is identical for every value")
 		checkpoint = flag.String("checkpoint", "", "journal completed work units to this file for crash-safe resume")
 		ckEvery    = flag.Int("checkpoint-every", 10, "flush a checkpoint snapshot every N completed units (shards or iterations)")
 		resume     = flag.Bool("resume", false, "resume the campaign recorded in -checkpoint (refused if the configuration changed)")
@@ -87,7 +110,7 @@ func main() {
 		verbose: *verbose, reportDir: *reportDir,
 		timeout: *timeout, retries: *retries,
 		flaky: *flaky, live: *live,
-		workers: *workers,
+		workers: *workers, batch: *batchSize,
 	}
 
 	names := []string{*gdbName}
@@ -175,7 +198,7 @@ func fingerprint(names []string, o options) string {
 		targets += fmt.Sprintf(" flaky=%g", o.flaky)
 	}
 	return core.CampaignFingerprint(mode, targets, faults.CatalogFingerprint(),
-		workers, o.iterations, runnerConfig(o))
+		workers, o.resolvedBatch(), o.iterations, runnerConfig(o))
 }
 
 // runnerConfig translates the flags into the runner configuration both
@@ -277,6 +300,27 @@ func decodeDetections(data json.RawMessage) []cmdDetection {
 	return ds
 }
 
+// encodeDetectionUnits / decodeDetectionUnits are the work-unit payload
+// codec: one detection list per logical shard in the unit's range.
+// decode always returns exactly count lists (corrupt payload ⇒ empty).
+func encodeDetectionUnits(units [][]cmdDetection) json.RawMessage {
+	p, err := json.Marshal(units)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+func decodeDetectionUnits(data json.RawMessage, count int) [][]cmdDetection {
+	out := make([][]cmdDetection, count)
+	var units [][]cmdDetection
+	if len(data) > 0 {
+		json.Unmarshal(data, &units) //nolint:errcheck // corrupt payload ⇒ no replayed output
+	}
+	copy(out, units)
+	return out
+}
+
 // runParallel is the sharded executor path (-workers >= 1): iterations
 // fan out across a worker pool, detections are buffered per shard, and
 // the output is printed in canonical shard order — so it is identical
@@ -292,25 +336,29 @@ func runParallel(ctx context.Context, name string, o options, ck *core.Checkpoin
 	pcfg := core.ParallelConfig{
 		Workers:    o.workers,
 		Iterations: o.iterations,
+		Batch:      o.resolvedBatch(),
 		Runner:     runnerConfig(o),
 	}
-	fmt.Printf("=== testing %s (seed %d, %d iterations, %d workers) ===\n",
-		name, o.seed, o.iterations, o.workers)
+	fmt.Printf("=== testing %s (seed %d, %d iterations, %d workers, batch %d) ===\n",
+		name, o.seed, o.iterations, o.workers, pcfg.Batch)
 
 	// Detections are buffered per shard (the observer runs concurrently
 	// across shards, sequentially within one — disjoint slots need no
 	// lock) and rendered after the pool drains, in shard order. The
-	// checkpoint hooks use the same slots: Payload seals a finished
-	// shard's buffer into its journal record, Restore refills a skipped
-	// shard's slot from the journal.
+	// checkpoint hooks use the same slots at unit granularity: Payload
+	// seals a finished unit's range of buffers into its journal record,
+	// Restore refills a skipped unit's slots from the journal.
 	logs := make([][]cmdDetection, o.iterations)
 	meter := metrics.NewMeter()
 	ckBefore := ck.Stats().Written
 	hooks := core.DurableHooks{
-		Payload: func(_ string, shard int) json.RawMessage { return encodeDetections(logs[shard]) },
+		Payload: func(_ string, start, count int) json.RawMessage {
+			return encodeDetectionUnits(logs[start : start+count])
+		},
 		Restore: func(u core.UnitRecord) {
-			if u.Shard >= 0 && u.Shard < len(logs) {
-				logs[u.Shard] = decodeDetections(u.Payload)
+			count := u.UnitCount()
+			if u.Shard >= 0 && u.Shard+count <= len(logs) {
+				copy(logs[u.Shard:u.Shard+count], decodeDetectionUnits(u.Payload, count))
 			}
 		},
 	}
@@ -322,7 +370,9 @@ func runParallel(ctx context.Context, name string, o options, ck *core.Checkpoin
 				logs[shard] = append(logs[shard], d)
 			}
 		}, ck, hooks)
-	meter.AddIterations(len(ps.Shards))
+	// Only iterations that actually ran count toward live throughput;
+	// restored units were another run's work.
+	meter.AddIterations(ps.Ran)
 	meter.AddCheckpoints(ck.Stats().Written - ckBefore)
 
 	found := map[string]bool{}
@@ -374,7 +424,7 @@ func run(ctx context.Context, name string, o options, ck *core.Checkpointer) err
 	found := map[string]bool{}
 	var cur []cmdDetection // the in-flight iteration's detections
 	hooks := core.DurableHooks{
-		Payload: func(string, int) json.RawMessage {
+		Payload: func(string, int, int) json.RawMessage {
 			p := encodeDetections(cur)
 			cur = nil
 			return p

@@ -151,9 +151,19 @@ type Tester struct {
 type testerConfig struct {
 	runner   core.RunnerConfig
 	workers  int
+	batch    int
 	ckPath   string
 	ckEvery  int
 	ckResume bool
+}
+
+// resolvedBatch is the effective work-unit size (see WithBatch); 0
+// keeps units at one iteration each.
+func (c testerConfig) resolvedBatch() int {
+	if c.batch > 0 {
+		return c.batch
+	}
+	return 1
 }
 
 // TesterOption customizes a Tester.
@@ -211,6 +221,16 @@ func WithRobustness(rc RobustnessConfig) TesterOption {
 // be driven concurrently.
 func WithWorkers(n int) TesterOption {
 	return func(c *testerConfig) { c.workers = n }
+}
+
+// WithBatch sets the work-unit size of a sharded tester: each unit a
+// worker drains is n contiguous logical iterations, amortizing per-unit
+// scheduling and checkpoint costs. The merged Stats are identical for
+// every batch size at the same seed — batching changes scheduling, not
+// results. <= 0 (the default) keeps one iteration per unit. Ignored by
+// NewTester.
+func WithBatch(n int) TesterOption {
+	return func(c *testerConfig) { c.batch = n }
 }
 
 // WithCheckpoint journals completed work units (iterations, or shards on
@@ -272,7 +292,10 @@ func (t *Tester) Run(n int, report func(*TestCase)) (Stats, error) {
 	if t.factory == nil {
 		return t.runner.Run(n, report)
 	}
-	pcfg := core.ParallelConfig{Workers: t.cfg.workers, Iterations: n, Runner: t.cfg.runner}
+	pcfg := core.ParallelConfig{
+		Workers: t.cfg.workers, Iterations: n,
+		Batch: t.cfg.resolvedBatch(), Runner: t.cfg.runner,
+	}
 	var observe func(int, core.Target, *core.TestCase)
 	if report != nil {
 		var mu sync.Mutex
@@ -304,7 +327,7 @@ func (t *Tester) RunContext(ctx context.Context, n int, report func(*TestCase)) 
 		if t.factory != nil {
 			mode, workers = "sharded", t.cfg.workers
 		}
-		fp := core.CampaignFingerprint(mode, "user-target", "", workers, n, t.cfg.runner)
+		fp := core.CampaignFingerprint(mode, "user-target", "", workers, t.cfg.resolvedBatch(), n, t.cfg.runner)
 		var err error
 		ck, err = core.OpenCheckpoint(core.CheckpointConfig{
 			Path: t.cfg.ckPath, Every: t.cfg.ckEvery, Resume: t.cfg.ckResume,
@@ -323,7 +346,10 @@ func (t *Tester) RunContext(ctx context.Context, n int, report func(*TestCase)) 
 			return stats, err
 		}
 	} else {
-		pcfg := core.ParallelConfig{Workers: t.cfg.workers, Iterations: n, Runner: t.cfg.runner}
+		pcfg := core.ParallelConfig{
+			Workers: t.cfg.workers, Iterations: n,
+			Batch: t.cfg.resolvedBatch(), Runner: t.cfg.runner,
+		}
 		var observe func(int, core.Target, *core.TestCase)
 		if report != nil {
 			var mu sync.Mutex

@@ -38,22 +38,33 @@ var ErrFingerprintMismatch = errors.New("checkpoint: campaign fingerprint mismat
 // share a checkpoint journal only if their fingerprints are equal;
 // resuming under a changed configuration would splice two different
 // deterministic streams into one nonsense campaign.
-func CampaignFingerprint(mode, targets, catalog string, workers, iterations int, rcfg RunnerConfig) string {
+// batch is part of the fingerprint because it fixes the work-unit
+// ranges the journal records: resuming a batch=4 journal under batch=1
+// would misalign every unit. (The batch never affects what a shard
+// computes — only how completion is bucketed for durability.)
+func CampaignFingerprint(mode, targets, catalog string, workers, batch, iterations int, rcfg RunnerConfig) string {
+	if batch <= 0 {
+		batch = 1
+	}
 	return fmt.Sprintf(
-		"gqs-checkpoint-v%d mode=%s targets=%s catalog=%s workers=%d iterations=%d seed=%d graph=%+v synth=%+v qpg=%d qpgt=%d robust=%+v",
-		checkpointVersion, mode, targets, catalog, workers, iterations,
+		"gqs-checkpoint-v%d mode=%s targets=%s catalog=%s workers=%d batch=%d iterations=%d seed=%d graph=%+v synth=%+v qpg=%d qpgt=%d robust=%+v",
+		checkpointVersion, mode, targets, catalog, workers, batch, iterations,
 		rcfg.Seed, rcfg.Graph, rcfg.Synth, rcfg.QueriesPerGraph, rcfg.QueriesPerGT, rcfg.Robust)
 }
 
-// UnitRecord is one completed work unit: shard i of a parallel campaign,
-// or iteration i of a sequential one (Shard is the iteration index
-// then). Stats is the unit's own contribution (a delta, not a running
-// total) so restored units merge exactly like live ones.
+// UnitRecord is one completed work unit: a contiguous range of Count
+// shards starting at Shard in a parallel campaign, or iteration i of a
+// sequential one (Shard is the iteration index, Count 1). Stats is the
+// unit's own contribution (a sum over its shards; a delta, not a
+// running total) so restored units merge exactly like live ones.
 type UnitRecord struct {
-	Target  string `json:"target"`
-	Shard   int    `json:"shard"`
-	Queries int    `json:"queries"` // test cases the unit produced (drives RNG fast-forward)
-	Stats   Stats  `json:"stats"`
+	Target string `json:"target"`
+	Shard  int    `json:"shard"`
+	// Count is the number of contiguous shards the unit covers; 0 means
+	// 1 (pre-batching records and sequential iterations).
+	Count   int   `json:"count,omitempty"`
+	Queries int   `json:"queries"` // test cases the unit produced (drives RNG fast-forward)
+	Stats   Stats `json:"stats"`
 	// BreakerOpen/ConsecFails snapshot the sequential runner's circuit-
 	// breaker state after this unit, so a resumed campaign keeps treating
 	// a dead target the way the killed one did. (Parallel shards build
@@ -64,6 +75,15 @@ type UnitRecord struct {
 	// stores its buffered detection events here so a resumed campaign can
 	// rebuild the canonical merged report.
 	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// UnitCount is the number of shards the unit covers (Count, with the
+// zero value meaning one).
+func (u UnitRecord) UnitCount() int {
+	if u.Count <= 0 {
+		return 1
+	}
+	return u.Count
 }
 
 // snapshotRecord is one journal record: the full campaign state at a
@@ -326,26 +346,34 @@ func (c *Checkpointer) Close() error {
 // records the durable runners write, and observe the units restored on
 // resume. Both are optional.
 type DurableHooks struct {
-	// Payload renders the embedder's state for a just-completed unit; it
-	// runs on the goroutine that ran the unit, after its last test case.
-	Payload func(target string, shard int) json.RawMessage
+	// Payload renders the embedder's state for a just-completed unit
+	// covering shards [start, start+count); it runs on the goroutine
+	// that ran the unit, after its last test case. Sequential campaigns
+	// always pass count 1.
+	Payload func(target string, start, count int) json.RawMessage
 	// Restore observes one restored unit. For the parallel executor it is
-	// called from the (single-goroutine) feed loop in shard order; for the
-	// sequential runner, in iteration order before anything runs.
+	// called from the (single-goroutine) feed loop in ascending unit
+	// order; for the sequential runner, in iteration order before
+	// anything runs.
 	Restore func(u UnitRecord)
 }
 
 // RunCheckpointedParallel is RunParallelCtx with checkpointing: restored
-// shards are skipped (their recorded stats merge as if they had run) and
-// every completed shard is recorded. With a nil checkpointer it is
-// exactly RunParallelCtx.
+// work units are skipped (their recorded stats merge as if they had run)
+// and every completed unit is recorded. A recorded unit whose range no
+// longer matches the executor's batching is ignored rather than half-
+// restored (the fingerprint pins the batch, so this only guards against
+// hand-edited journals). With a nil checkpointer it is exactly
+// RunParallelCtx. The caller's own UnitDone hook, if any, runs after the
+// unit is recorded.
 func RunCheckpointedParallel(ctx context.Context, cfg ParallelConfig, name string,
 	factory TargetFactory, observe func(int, Target, *TestCase),
 	ck *Checkpointer, hooks DurableHooks) *ParallelStats {
 	if ck != nil {
-		cfg.SkipShard = func(shard int) (Stats, bool) {
-			u, ok := ck.Completed(name, shard)
-			if !ok {
+		userDone := cfg.UnitDone
+		cfg.SkipUnit = func(start, count int) (Stats, bool) {
+			u, ok := ck.Completed(name, start)
+			if !ok || u.UnitCount() != count {
 				return Stats{}, false
 			}
 			if hooks.Restore != nil {
@@ -353,12 +381,15 @@ func RunCheckpointedParallel(ctx context.Context, cfg ParallelConfig, name strin
 			}
 			return u.Stats, true
 		}
-		cfg.ShardDone = func(shard int, s Stats) {
-			u := UnitRecord{Target: name, Shard: shard, Queries: s.Queries, Stats: s}
+		cfg.UnitDone = func(start, count int, s Stats) {
+			u := UnitRecord{Target: name, Shard: start, Count: count, Queries: s.Queries, Stats: s}
 			if hooks.Payload != nil {
-				u.Payload = hooks.Payload(name, shard)
+				u.Payload = hooks.Payload(name, start, count)
 			}
 			ck.Record(u)
+			if userDone != nil {
+				userDone(start, count, s)
+			}
 		}
 	}
 	return RunParallelCtx(ctx, cfg, factory, observe)
@@ -421,7 +452,7 @@ func RunCheckpointedSequential(ctx context.Context, target Target, cfg RunnerCon
 				ConsecFails: fails,
 			}
 			if hooks.Payload != nil {
-				u.Payload = hooks.Payload(name, i)
+				u.Payload = hooks.Payload(name, i, 1)
 			}
 			ck.Record(u)
 		}

@@ -127,19 +127,20 @@ func TestCheckpointCompactionBoundsJournal(t *testing.T) {
 
 func TestCampaignFingerprintSensitivity(t *testing.T) {
 	cfg := tinyRunnerConfig()
-	base := CampaignFingerprint("sequential", "reference", "cat", 1, 10, cfg)
-	if base != CampaignFingerprint("sequential", "reference", "cat", 1, 10, cfg) {
+	base := CampaignFingerprint("sequential", "reference", "cat", 1, 1, 10, cfg)
+	if base != CampaignFingerprint("sequential", "reference", "cat", 1, 1, 10, cfg) {
 		t.Fatal("fingerprint not deterministic")
 	}
 	cfg2 := cfg
 	cfg2.Seed++
 	for name, other := range map[string]string{
-		"seed":       CampaignFingerprint("sequential", "reference", "cat", 1, 10, cfg2),
-		"mode":       CampaignFingerprint("sharded", "reference", "cat", 1, 10, cfg),
-		"targets":    CampaignFingerprint("sequential", "memgraph", "cat", 1, 10, cfg),
-		"catalog":    CampaignFingerprint("sequential", "reference", "cat2", 1, 10, cfg),
-		"workers":    CampaignFingerprint("sequential", "reference", "cat", 2, 10, cfg),
-		"iterations": CampaignFingerprint("sequential", "reference", "cat", 1, 11, cfg),
+		"seed":       CampaignFingerprint("sequential", "reference", "cat", 1, 1, 10, cfg2),
+		"mode":       CampaignFingerprint("sharded", "reference", "cat", 1, 1, 10, cfg),
+		"targets":    CampaignFingerprint("sequential", "memgraph", "cat", 1, 1, 10, cfg),
+		"catalog":    CampaignFingerprint("sequential", "reference", "cat2", 1, 1, 10, cfg),
+		"workers":    CampaignFingerprint("sequential", "reference", "cat", 2, 1, 10, cfg),
+		"iterations": CampaignFingerprint("sequential", "reference", "cat", 1, 1, 11, cfg),
+		"batch":      CampaignFingerprint("sequential", "reference", "cat", 1, 4, 10, cfg),
 	} {
 		if other == base {
 			t.Errorf("fingerprint insensitive to %s", name)
@@ -154,7 +155,7 @@ func TestCheckpointedSequentialResume(t *testing.T) {
 	cfg := tinyRunnerConfig()
 	cfg.Seed = 31
 	const iterations = 6
-	fp := CampaignFingerprint("sequential", "reference", "", 1, iterations, cfg)
+	fp := CampaignFingerprint("sequential", "reference", "", 1, 1, iterations, cfg)
 
 	trace := func(stats *Stats, run func(report func(*TestCase)) Stats) string {
 		var sb strings.Builder
@@ -254,7 +255,7 @@ func TestCheckpointedSequentialResume(t *testing.T) {
 func TestCheckpointedParallelResume(t *testing.T) {
 	pcfg := shardTestConfig()
 	pcfg.Workers = 1 // deterministic completion order for the kill point
-	fp := CampaignFingerprint("sharded", "reference", "", pcfg.Workers, pcfg.Iterations, pcfg.Runner)
+	fp := CampaignFingerprint("sharded", "reference", "", pcfg.Workers, 1, pcfg.Iterations, pcfg.Runner)
 	factory := func(int) (Target, error) { return newRefTarget(nil), nil }
 
 	baseline := RunParallel(pcfg, factory, nil)
@@ -316,7 +317,7 @@ func TestCheckpointedSequentialResumeThroughOutage(t *testing.T) {
 	cfg := tinyRunnerConfig()
 	cfg.Seed = 17
 	const iterations = 8
-	fp := CampaignFingerprint("sequential", "flaky", "", 1, iterations, cfg)
+	fp := CampaignFingerprint("sequential", "flaky", "", 1, 1, iterations, cfg)
 
 	// Baseline: 5 dead iterations (breaker trips), then the target heals.
 	baseRun := func(target Target, healAt int) (Stats, string) {

@@ -172,6 +172,11 @@ type Runner struct {
 	// curSnap is the sealed snapshot of curGraph, nil when the target has
 	// no SnapshotTarget extension.
 	curSnap *graph.Snapshot
+	// share, when set, dedups the per-iteration seal across executor
+	// passes (see SnapshotShare); shareShard is the logical shard slot
+	// the next iteration resolves against.
+	share      *SnapshotShare
+	shareShard int
 }
 
 // NewRunner creates a runner for the target.
@@ -209,6 +214,33 @@ func NewRunnerCtx(ctx context.Context, target Target, cfg RunnerConfig) *Runner 
 	return rn
 }
 
+// Reseed rewinds the runner to the state NewRunner would build for the
+// given seed, reusing its allocations (RNG sources, config, prepared/
+// snapshot bindings). The sharded executor calls it between logical
+// shards so one worker-lifetime Runner replaces a fresh construction
+// per shard; after Reseed(s) the runner behaves byte-identically to
+// NewRunnerCtx(ctx, target, cfg-with-Seed-s).
+func (rn *Runner) Reseed(seed int64) {
+	rn.cfg.Seed = seed
+	rn.r.Seed(seed)
+	rn.jr.Seed(seed ^ 0x6a77_3b2c_9d1e_5f48)
+	rn.seq = 0
+	rn.stats = Stats{}
+	rn.consecFails = 0
+	rn.breakerOpen = false
+	rn.abandonGraph = false
+	rn.needRecover = false
+	rn.curGraph, rn.curSchema, rn.curSnap = nil, nil, nil
+}
+
+// SetShare installs the campaign-wide snapshot share and the logical
+// shard slot the next iteration publishes to / resolves from. A nil
+// share restores the private per-iteration seal.
+func (rn *Runner) SetShare(share *SnapshotShare, shard int) {
+	rn.share = share
+	rn.shareShard = shard
+}
+
 // Breaker reports the circuit-breaker state: whether it is open and the
 // current streak of consecutive failed restart sequences.
 func (rn *Runner) Breaker() (open bool, consecutiveFailures int) {
@@ -232,16 +264,24 @@ func (rn *Runner) RunIteration(report func(*TestCase)) error {
 	defer func() { rn.stats.Elapsed += time.Since(start) }()
 
 	g, schema := graph.Generate(rn.r, rn.cfg.Graph)
-	rn.curGraph, rn.curSchema = g, schema
 	rn.curSnap = nil
 	if rn.snapshot != nil {
 		// One immutable snapshot per iteration: every restart below —
 		// and, campaign-wide, every other target validating the same
 		// graph — shares it instead of deep-copying the graph. Sealing
 		// leaves g fully readable for ground-truth selection and
-		// synthesis.
-		rn.curSnap = g.Seal()
+		// synthesis. With a share installed, the seal itself (and the
+		// snapshot's cached index build) is dedup'd across the campaign's
+		// per-target legs: the generation draws above still advance this
+		// runner's RNG stream, but the resulting content-identical graph
+		// is swapped for the canonical shared instance.
+		if rn.share != nil {
+			g, schema, rn.curSnap = rn.share.resolve(rn.shareShard, g, schema)
+		} else {
+			rn.curSnap = g.Seal()
+		}
 	}
+	rn.curGraph, rn.curSchema = g, schema
 	rn.abandonGraph = false
 	if !rn.ensureUp() {
 		rn.stats.Robust.FailedIterations++

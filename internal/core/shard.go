@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gqs/internal/functions"
@@ -17,13 +18,15 @@ import (
 // iterations across a worker pool.
 //
 // The determinism contract: the unit of sharding is the LOGICAL
-// iteration, not the worker. Shard i derives its RNG seed from
-// (campaign seed, i) alone, runs on a fresh Runner against a fresh
-// connector from the factory, and records its stats into slot i. The
-// work decomposition is therefore independent of how many workers drain
-// the shard queue, and a merged campaign at `seed S, workers 1` reports
-// the byte-identical bug set as `seed S, workers N` — only wall-clock
-// time changes.
+// iteration, not the worker and not the batch. Shard i derives its RNG
+// seed from (campaign seed, i) alone and records its stats into slot i.
+// Workers drain contiguous *ranges* of shards (work units of Batch
+// iterations) to amortize per-shard setup, but a unit is nothing more
+// than a loop over its shards — each one reseeded exactly as if it were
+// enqueued alone. The work decomposition is therefore independent of
+// both the worker count and the batch size, and a merged campaign at
+// `seed S, workers 1, batch 1` reports the byte-identical bug set as
+// `seed S, workers N, batch K` — only wall-clock time changes.
 
 // ShardSeed derives the RNG seed of logical shard i from the campaign
 // seed. Exposed so connector factories can derive matching per-shard
@@ -42,10 +45,11 @@ type TargetFactory func(shard int) (Target, error)
 // ShardSeeder is the optional connector-reuse extension of Target: a
 // connector that can re-derive all its per-shard deterministic state
 // (engine seed and execution counter, flaky-injection stream) for a new
-// shard index. A worker reuses one such connector across every shard it
-// drains — skipping the per-shard engine and fault-catalog construction
-// that made workers=1 parallel campaigns slower than the sequential
-// runner — under the contract that after SeedShard(i) the target behaves
+// shard index. A worker reuses one such connector — and one Runner on
+// top of it, reseeded per shard — across every shard it drains,
+// skipping the per-shard engine and fault-catalog construction that
+// made workers=1 parallel campaigns slower than the sequential runner,
+// under the contract that after SeedShard(i) the target behaves
 // byte-identically to a freshly built factory(i) instance.
 type ShardSeeder interface {
 	SeedShard(shard int)
@@ -54,26 +58,55 @@ type ShardSeeder interface {
 // ParallelConfig bounds one sharded campaign.
 type ParallelConfig struct {
 	// Workers is the worker-pool size; 0 selects GOMAXPROCS. The pool is
-	// clamped to Iterations (more workers than shards is waste).
+	// clamped to the number of pending work units (more workers than
+	// units is waste).
 	Workers int
 	// Iterations is the number of logical shards, one workflow iteration
 	// (graph generation + instance restart + query batch) each.
 	Iterations int
+	// Batch is the work-unit size: each unit a worker drains is a
+	// contiguous range of Batch logical iterations (the tail unit may be
+	// shorter). 0 or negative selects 1. Batching amortizes per-unit
+	// scheduling and checkpoint costs; it never changes what any shard
+	// computes, so results are byte-identical across batch sizes.
+	Batch int
 	// Runner configures each shard's runner. Runner.Seed is the campaign
 	// seed; shard i runs with ShardSeed(Runner.Seed, i).
 	Runner RunnerConfig
-	// SkipShard, when set, lets a resumed campaign skip already-completed
-	// shards: return that shard's recorded stats and true to place them
-	// in the shard's slot without running it. Called once per shard from
-	// the feed loop (a single goroutine), before the shard is enqueued.
-	SkipShard func(shard int) (Stats, bool)
-	// ShardDone observes each shard that ran to completion, called from
-	// the worker goroutine that ran it immediately afterwards. It is not
-	// called for shards skipped via SkipShard, nor for shards still in
-	// flight when the context is canceled — cancellation is monotonic, so
-	// a ShardDone call guarantees the shard's full, uninterrupted stats.
+	// Share, when set, dedups the per-iteration sealed snapshot (and the
+	// graph + schema it was sealed from) across every executor pass that
+	// runs the same logical shards — e.g. the per-GDB legs of a campaign,
+	// whose shard-i graphs are identical by construction. The first pass
+	// to reach shard i seals and publishes; later passes still burn the
+	// generation draws (the RNG stream must advance) but reuse the
+	// published triple, so the seal and the per-schema index build happen
+	// once per shard instead of once per shard per target.
+	Share *SnapshotShare
+	// SkipUnit, when set, lets a resumed campaign skip already-completed
+	// work units: return the unit's recorded stats (the sum over its
+	// shards) and true to account for it without running it. Called once
+	// per unit from the feed loop (a single goroutine), in ascending
+	// start order, before anything is enqueued. Units are identified by
+	// their (start, count) range, which is stable for a fixed
+	// (Iterations, Batch) pair — the checkpoint fingerprint pins both.
+	SkipUnit func(start, count int) (Stats, bool)
+	// UnitDone observes each work unit that ran to completion, called
+	// from the worker goroutine that ran it immediately afterwards with
+	// the summed stats of its shards. It is not called for units skipped
+	// via SkipUnit, for units still in flight when the context is
+	// canceled — cancellation is monotonic, so a UnitDone call guarantees
+	// the unit's full, uninterrupted stats — nor for units in which any
+	// shard's target factory failed: a factory error is transient
+	// infrastructure trouble, and recording the unit as complete would
+	// make a resumed campaign skip (never retry) the failed shard.
 	// Callers touching shared state must synchronize.
-	ShardDone func(shard int, s Stats)
+	UnitDone func(start, count int, s Stats)
+}
+
+// workUnit is one contiguous range of logical shards drained by a
+// single worker.
+type workUnit struct {
+	start, count int
 }
 
 // ShardStats is one shard's outcome.
@@ -90,23 +123,35 @@ type ParallelStats struct {
 	Stats
 	Wall    time.Duration
 	Workers int
-	Shards  []ShardStats // indexed by shard, always in shard order
+	// Ran counts the logical iterations this run actually attempted
+	// (including failed attempts); Restored counts the iterations
+	// restored from a checkpoint without running. Ran+Restored ≤
+	// Iterations, with the gap being canceled-before-start shards.
+	Ran      int
+	Restored int
+	// RanQueries counts the queries executed live this run (restored
+	// units' queries are in Stats.Queries but not here).
+	RanQueries int
+	Shards     []ShardStats // indexed by shard, always in shard order
 }
 
-// IterationsPerSec is the campaign's wall-clock iteration throughput.
+// IterationsPerSec is the campaign's live wall-clock iteration
+// throughput: only iterations that actually ran count — a resumed
+// campaign must not claim its restored units as this run's speed.
 func (p *ParallelStats) IterationsPerSec() float64 {
 	if p.Wall <= 0 {
 		return 0
 	}
-	return float64(len(p.Shards)) / p.Wall.Seconds()
+	return float64(p.Ran) / p.Wall.Seconds()
 }
 
-// QueriesPerSec is the campaign's wall-clock query throughput.
+// QueriesPerSec is the campaign's live wall-clock query throughput
+// (restored units excluded, as in IterationsPerSec).
 func (p *ParallelStats) QueriesPerSec() float64 {
 	if p.Wall <= 0 {
 		return 0
 	}
-	return float64(p.Queries) / p.Wall.Seconds()
+	return float64(p.RanQueries) / p.Wall.Seconds()
 }
 
 // Add accumulates another stats block; the merge layer sums per-shard
@@ -137,10 +182,10 @@ func RunParallel(cfg ParallelConfig, factory TargetFactory, observe func(shard i
 }
 
 // RunParallelCtx is RunParallel under a cancelable context: once ctx is
-// done the feed loop stops enqueueing shards, idle workers drain the
+// done the feed loop stops enqueueing units, idle workers drain the
 // queue without running, and in-flight shards stop between queries. A
 // canceled run still returns merged stats for whatever completed; the
-// checkpoint layer's ShardDone hook sees exactly the shards that ran to
+// checkpoint layer's UnitDone hook sees exactly the units that ran to
 // completion before cancellation.
 func RunParallelCtx(ctx context.Context, cfg ParallelConfig, factory TargetFactory, observe func(shard int, target Target, tc *TestCase)) *ParallelStats {
 	if ctx == nil {
@@ -151,19 +196,31 @@ func RunParallelCtx(ctx context.Context, cfg ParallelConfig, factory TargetFacto
 	if n < 0 {
 		n = 0
 	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 1
+	}
 	perShard := make([]Stats, n)
-	// Resume pass: already-completed shards get their recorded stats and
+	// Resume pass: already-completed units get their recorded stats and
 	// never reach the queue. The feed loop below only sees the rest.
-	pending := make([]int, 0, n)
-	for shard := 0; shard < n; shard++ {
-		if cfg.SkipShard != nil {
-			if s, ok := cfg.SkipShard(shard); ok {
-				s.Robust.ResumeFastForwarded++
-				perShard[shard] = s
+	// A restored unit's summed stats land in its start slot; the merged
+	// totals are identical to per-shard placement.
+	pending := make([]workUnit, 0, (n+batch-1)/batch)
+	restored := 0
+	for us := 0; us < n; us += batch {
+		count := batch
+		if us+count > n {
+			count = n - us
+		}
+		if cfg.SkipUnit != nil {
+			if s, ok := cfg.SkipUnit(us, count); ok {
+				s.Robust.ResumeFastForwarded += count
+				perShard[us] = s
+				restored += count
 				continue
 			}
 		}
-		pending = append(pending, shard)
+		pending = append(pending, workUnit{start: us, count: count})
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -172,52 +229,89 @@ func RunParallelCtx(ctx context.Context, cfg ParallelConfig, factory TargetFacto
 	if workers > len(pending) {
 		workers = len(pending)
 	}
-	jobs := make(chan int)
+	var ran, ranQueries atomic.Int64
+	jobs := make(chan workUnit)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			// A connector that supports per-shard reseeding is built once
-			// and reused for every shard this worker drains; others are
-			// built and closed per shard as before. Reuse changes which
-			// instance runs a shard, never what the shard computes: the
-			// shard's RNG streams derive from (campaign seed, shard) alone.
+			// and reused — together with one Runner on top of it — for
+			// every shard this worker drains; others are built and closed
+			// per shard as before. Reuse changes which instance runs a
+			// shard, never what the shard computes: the shard's RNG
+			// streams derive from (campaign seed, shard) alone.
 			var reused Target
+			var rn *Runner
 			defer closeTarget(&reused)
-			for shard := range jobs {
-				if ctx.Err() != nil {
-					continue // canceled: drain the queue without running
-				}
+			runShard := func(shard int) bool {
 				if reused != nil {
 					reused.(ShardSeeder).SeedShard(shard)
-					perShard[shard] = runShardOn(ctx, cfg, shard, reused, observe)
-				} else if target, err := factory(shard); err != nil {
+					rn.Reseed(ShardSeed(cfg.Runner.Seed, shard))
+					rn.SetShare(cfg.Share, shard)
+					perShard[shard] = runIterationOn(rn, shard, reused, observe)
+					return true
+				}
+				target, err := factory(shard)
+				if err != nil {
 					var s Stats
 					s.Robust.FailedIterations++
 					perShard[shard] = s
-				} else if _, ok := target.(ShardSeeder); ok {
+					return false
+				}
+				if _, ok := target.(ShardSeeder); ok {
 					// The factory seeds the instance for its shard index,
-					// so the first shard needs no SeedShard call.
+					// so the first shard needs no SeedShard/Reseed call.
 					reused = target
-					perShard[shard] = runShardOn(ctx, cfg, shard, reused, observe)
-				} else {
-					perShard[shard] = runShardOn(ctx, cfg, shard, target, observe)
-					closeTarget(&target)
+					rcfg := cfg.Runner
+					rcfg.Seed = ShardSeed(cfg.Runner.Seed, shard)
+					rn = NewRunnerCtx(ctx, reused, rcfg)
+					rn.SetShare(cfg.Share, shard)
+					perShard[shard] = runIterationOn(rn, shard, reused, observe)
+					return true
+				}
+				perShard[shard] = runShardOn(ctx, cfg, shard, target, observe)
+				closeTarget(&target)
+				return true
+			}
+			for u := range jobs {
+				if ctx.Err() != nil {
+					continue // canceled: drain the queue without running
+				}
+				complete := true
+				for shard := u.start; shard < u.start+u.count; shard++ {
+					if ctx.Err() != nil {
+						complete = false
+						break
+					}
+					ran.Add(1)
+					if !runShard(shard) {
+						// Keep running the unit's other shards — their work
+						// is still valid — but the unit must not be
+						// reported complete (see UnitDone).
+						complete = false
+						continue
+					}
+					ranQueries.Add(int64(perShard[shard].Queries))
 				}
 				// Cancellation is monotonic: a nil ctx.Err() here proves
-				// the whole shard ran uninterrupted, so recording it as
+				// the whole unit ran uninterrupted, so recording it as
 				// complete is safe even though the check races the cancel.
-				if ctx.Err() == nil && cfg.ShardDone != nil {
-					cfg.ShardDone(shard, perShard[shard])
+				if complete && ctx.Err() == nil && cfg.UnitDone != nil {
+					var sum Stats
+					for shard := u.start; shard < u.start+u.count; shard++ {
+						sum.Add(perShard[shard])
+					}
+					cfg.UnitDone(u.start, u.count, sum)
 				}
 			}
 		}()
 	}
 feed:
-	for _, shard := range pending {
+	for _, u := range pending {
 		select {
-		case jobs <- shard:
+		case jobs <- u:
 		case <-ctx.Done():
 			break feed
 		}
@@ -225,7 +319,13 @@ feed:
 	close(jobs)
 	wg.Wait()
 
-	ps := &ParallelStats{Workers: workers, Wall: time.Since(start)}
+	ps := &ParallelStats{
+		Workers:    workers,
+		Wall:       time.Since(start),
+		Ran:        int(ran.Load()),
+		Restored:   restored,
+		RanQueries: int(ranQueries.Load()),
+	}
 	ps.Shards = make([]ShardStats, n)
 	for i := range perShard {
 		ps.Shards[i] = ShardStats{Shard: i, Stats: perShard[i]}
@@ -245,18 +345,25 @@ func closeTarget(t *Target) {
 	}
 }
 
-// runShardOn executes one logical shard on an already-built connector:
-// fresh shard seed, fresh runner, one workflow iteration. The runner is
-// cheap to construct; only the connector (engine + fault catalog) is
-// worth reusing across shards.
-func runShardOn(ctx context.Context, cfg ParallelConfig, shard int, target Target, observe func(int, Target, *TestCase)) Stats {
-	rcfg := cfg.Runner
-	rcfg.Seed = ShardSeed(cfg.Runner.Seed, shard)
-	rn := NewRunnerCtx(ctx, target, rcfg)
+// runIterationOn executes one logical shard on an already-seeded runner:
+// one workflow iteration, stats read back from the (freshly reseeded)
+// runner.
+func runIterationOn(rn *Runner, shard int, target Target, observe func(int, Target, *TestCase)) Stats {
 	var report func(*TestCase)
 	if observe != nil {
 		report = func(tc *TestCase) { observe(shard, target, tc) }
 	}
 	rn.RunIteration(report)
 	return rn.Stats()
+}
+
+// runShardOn executes one logical shard on an already-built connector
+// that does not support reuse: fresh shard seed, fresh runner, one
+// workflow iteration.
+func runShardOn(ctx context.Context, cfg ParallelConfig, shard int, target Target, observe func(int, Target, *TestCase)) Stats {
+	rcfg := cfg.Runner
+	rcfg.Seed = ShardSeed(cfg.Runner.Seed, shard)
+	rn := NewRunnerCtx(ctx, target, rcfg)
+	rn.SetShare(cfg.Share, shard)
+	return runIterationOn(rn, shard, target, observe)
 }

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"gqs/internal/core"
@@ -47,6 +48,13 @@ type BenchResult struct {
 	Findings         int     `json:"findings"`
 	IdenticalBugSets bool    `json:"identical_bug_sets"`
 
+	// ParallelEfficiency is Speedup divided by ParallelWorkers: the
+	// fraction of ideal linear scaling the sharded executor achieves.
+	// bench-regress gates this against prior results recorded at the same
+	// worker count, so executor-overhead regressions show up even when
+	// absolute throughput moves with the hardware.
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
+
 	// CampaignNsPerIter and CampaignAllocsPerIter are the wall-clock and
 	// heap-allocation cost of one campaign iteration on the single-worker
 	// leg — the numbers the perf-regression gate tracks across PRs.
@@ -74,12 +82,17 @@ type BenchResult struct {
 }
 
 // CheckpointBenchResult quantifies what crash-safe checkpointing costs a
-// campaign. WritePct is the gated number: the fraction of the durable
-// campaign's wall-clock spent appending and fsyncing journal records —
-// attributed I/O, immune to scheduling noise. OverheadPct (durable vs
-// plain wall-clock) is recorded for context but noisy at campaign scale.
+// campaign. The legs run as Reps adjacent plain/durable pairs and
+// OverheadPct is the median of the per-pair wall-clock ratios: machine
+// load hits both halves of a pair alike, so the common mode cancels
+// where a lone plain-then-durable measurement once booked 16.8% of
+// scheduling noise as "overhead" next to 0.24% of attributed write
+// time. With Reps >= 2 the median is tight enough that bench-regress
+// gates the total OverheadPct directly (alongside the attributed-I/O
+// WritePct, which has always been gated).
 type CheckpointBenchResult struct {
 	Every           int     `json:"every"`
+	Reps            int     `json:"reps,omitempty"`
 	PlainSeconds    float64 `json:"plain_seconds"`
 	DurableSeconds  float64 `json:"durable_seconds"`
 	OverheadPct     float64 `json:"overhead_pct"`
@@ -88,57 +101,92 @@ type CheckpointBenchResult struct {
 	Checkpoints     int     `json:"checkpoints"`
 	CheckpointBytes int64   `json:"checkpoint_bytes"`
 	// DigestOK is the durability cross-check: the durable campaign's
-	// canonical bug report equals the plain campaign's.
+	// canonical bug report equals the plain campaign's, on every rep.
 	DigestOK bool `json:"digest_ok"`
 }
 
-// measureCheckpointOverhead times one single-worker campaign plain and
-// once more under a checkpoint journal flushing every 100 units.
+// measureCheckpointOverhead times the same single-worker campaign plain
+// and under a checkpoint journal flushing every 100 units, several
+// adjacent plain/durable pairs. The recorded seconds are the per-leg
+// minima (for context); the gated OverheadPct is the median per-pair
+// ratio. Journal I/O stats come from the fastest durable rep (each rep
+// writes an identical journal to a fresh file, so any rep's byte and
+// checkpoint counts are canonical).
 func measureCheckpointOverhead(seed int64, iterations int) *CheckpointBenchResult {
 	cfg := DefaultCampaignConfig()
 	cfg.Seed = seed
 	cfg.Iterations = iterations
 	cfg.Workers = 1
 
-	start := time.Now()
-	plain := RunGQSCampaign(cfg)
-	plainSec := time.Since(start).Seconds()
-
 	dir, err := os.MkdirTemp("", "gqs-bench-ck")
 	if err != nil {
 		return nil
 	}
 	defer os.RemoveAll(dir)
-	const every = 100
-	ck, err := core.OpenCheckpoint(core.CheckpointConfig{
-		Path: dir + "/bench.journal", Every: every,
-	}, CampaignFingerprint(cfg))
-	if err != nil {
-		return nil
-	}
-	start = time.Now()
-	durable := RunGQSCampaignDurable(context.Background(), cfg, ck)
-	ck.Flush() //nolint:errcheck // stats below carry any failure
-	durableSec := time.Since(start).Seconds()
-	st := ck.Stats()
-	ck.Close()
 
-	res := &CheckpointBenchResult{
-		Every:           every,
-		PlainSeconds:    plainSec,
-		DurableSeconds:  durableSec,
-		WriteSeconds:    st.WriteTime.Seconds(),
-		Checkpoints:     st.Written,
-		CheckpointBytes: st.Bytes,
-		DigestOK:        durable.CanonicalBugReport() == plain.CanonicalBugReport(),
+	const every = 100
+	const reps = 5
+
+	res := &CheckpointBenchResult{Every: every, Reps: reps, DigestOK: true}
+	var plainReport string
+	var ratios []float64
+	plainSec, durableSec := 0.0, 0.0
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		plain := RunGQSCampaign(cfg)
+		psec := time.Since(start).Seconds()
+		if rep == 0 || psec < plainSec {
+			plainSec = psec
+		}
+		plainReport = plain.CanonicalBugReport()
+
+		ck, err := core.OpenCheckpoint(core.CheckpointConfig{
+			Path: fmt.Sprintf("%s/bench-%d.journal", dir, rep), Every: every,
+		}, CampaignFingerprint(cfg))
+		if err != nil {
+			return nil
+		}
+		start = time.Now()
+		durable := RunGQSCampaignDurable(context.Background(), cfg, ck)
+		ck.Flush() //nolint:errcheck // stats below carry any failure
+		dsec := time.Since(start).Seconds()
+		st := ck.Stats()
+		ck.Close()
+		if rep == 0 || dsec < durableSec {
+			durableSec = dsec
+			res.WriteSeconds = st.WriteTime.Seconds()
+			res.Checkpoints = st.Written
+			res.CheckpointBytes = st.Bytes
+		}
+		if psec > 0 {
+			ratios = append(ratios, dsec/psec)
+		}
+		if durable.CanonicalBugReport() != plainReport {
+			res.DigestOK = false
+		}
 	}
-	if plainSec > 0 {
-		res.OverheadPct = (durableSec - plainSec) / plainSec * 100
-	}
+
+	res.PlainSeconds = plainSec
+	res.DurableSeconds = durableSec
+	res.OverheadPct = (median(ratios) - 1) * 100
 	if durableSec > 0 {
-		res.WritePct = st.WriteTime.Seconds() / durableSec * 100
+		res.WritePct = res.WriteSeconds / durableSec * 100
 	}
 	return res
+}
+
+// median of a small sample; 0 on an empty one.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 // SnapshotBenchResult quantifies what copy-on-write snapshots buy the
@@ -328,6 +376,16 @@ func measureParseShare(seed int64) *ParseShareResult {
 // RunThroughputBench runs the bench and renders a short human summary to
 // w. workers <= 0 selects GOMAXPROCS. Note the speedup is bounded by the
 // machine: on a single-core runner it hovers around 1.0 by construction.
+//
+// The two throughput legs run as benchReps adjacent baseline/parallel
+// pairs: the per-leg rates use the minimum wall-clock (least scheduler
+// noise) and the speedup is the median per-pair ratio, so machine load
+// that hits both halves of a pair cancels instead of landing on
+// whichever leg drew the noisier run — on a shared runner a single
+// campaign run can land 20% slow purely from scheduling, which is
+// regression-gate poison. The campaign outcome is deterministic, so
+// reps agree on everything but time and any rep's Campaign is
+// canonical.
 func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -335,6 +393,7 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 	cfg := DefaultCampaignConfig()
 	cfg.Seed = seed
 	cfg.Iterations = iterations
+	const benchReps = 3
 	run := func(n int) (*Campaign, float64) {
 		c := cfg
 		c.Workers = n
@@ -342,13 +401,6 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 		out := RunGQSCampaign(c)
 		return out, time.Since(start).Seconds()
 	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	mallocs0 := ms.Mallocs
-	base, baseSec := run(1)
-	runtime.ReadMemStats(&ms)
-	baseMallocs := ms.Mallocs - mallocs0
-
 	// The parallel leg always runs with GOMAXPROCS >= 2 and >= 2 workers,
 	// so shard interleaving (and the determinism cross-check) is real even
 	// on single-CPU runners.
@@ -359,11 +411,33 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 	parProcs := prevProcs
 	if parProcs < 2 {
 		parProcs = 2
-		runtime.GOMAXPROCS(parProcs)
 	}
-	par, parSec := run(workers)
-	if parProcs != prevProcs {
+	var base, par *Campaign
+	var baseMallocs uint64
+	var ratios []float64
+	baseSec, parSec := 0.0, 0.0
+	var ms runtime.MemStats
+	for rep := 0; rep < benchReps; rep++ {
+		runtime.ReadMemStats(&ms)
+		mallocs0 := ms.Mallocs
+		var bsec float64
+		base, bsec = run(1)
+		runtime.ReadMemStats(&ms)
+		if rep == 0 || bsec < baseSec {
+			baseSec = bsec
+			baseMallocs = ms.Mallocs - mallocs0
+		}
+
+		runtime.GOMAXPROCS(parProcs)
+		var psec float64
+		par, psec = run(workers)
 		runtime.GOMAXPROCS(prevProcs)
+		if rep == 0 || psec < parSec {
+			parSec = psec
+		}
+		if psec > 0 {
+			ratios = append(ratios, bsec/psec)
+		}
 	}
 
 	res := BenchResult{
@@ -393,21 +467,22 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 	if parSec > 0 {
 		res.ParallelIterSec = float64(par.Throughput.Iterations) / parSec
 	}
-	if parSec > 0 {
-		res.Speedup = baseSec / parSec
+	res.Speedup = median(ratios)
+	if res.ParallelWorkers > 0 {
+		res.ParallelEfficiency = res.Speedup / float64(res.ParallelWorkers)
 	}
 	res.ParseShare = measureParseShare(seed)
 	res.Snapshot = measureSnapshotReset(seed)
 	res.Checkpoint = measureCheckpointOverhead(seed, iterations)
 
-	fmt.Fprintf(w, "== Sharded-executor throughput (seed %d, %d iterations/GDB, GOMAXPROCS %d) ==\n",
-		seed, iterations, res.GOMAXPROCS)
+	fmt.Fprintf(w, "== Sharded-executor throughput (seed %d, %d iterations/GDB, GOMAXPROCS %d, min of %d reps) ==\n",
+		seed, iterations, res.GOMAXPROCS, benchReps)
 	fmt.Fprintf(w, "workers=1:  %6.2fs  %7.1f iterations/s  (%.0f allocs/iteration)\n",
 		baseSec, res.BaselineIterSec, res.CampaignAllocsPerIter)
 	fmt.Fprintf(w, "workers=%d:  %6.2fs  %7.1f iterations/s  (GOMAXPROCS %d)\n",
 		workers, parSec, res.ParallelIterSec, parProcs)
-	fmt.Fprintf(w, "speedup: %.2fx; identical bug sets: %v (%d findings)\n",
-		res.Speedup, res.IdenticalBugSets, res.Findings)
+	fmt.Fprintf(w, "speedup: %.2fx (%.0f%% parallel efficiency); identical bug sets: %v (%d findings)\n",
+		res.Speedup, res.ParallelEfficiency*100, res.IdenticalBugSets, res.Findings)
 	if ps := res.ParseShare; ps != nil {
 		fmt.Fprintf(w, "parse share (%d queries x %d reps x 5 dialects):\n", ps.Queries, ps.Reps)
 		fmt.Fprintf(w, "  text:     %8.0f ns/check  %5.1f parses/check  %7.0f allocs/check\n",
@@ -426,8 +501,9 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 			sb.ResetCloneNs, sb.CloneVsCOWSpeedup)
 	}
 	if cb := res.Checkpoint; cb != nil {
-		fmt.Fprintf(w, "checkpoint overhead (every %d units, workers=1):\n", cb.Every)
-		fmt.Fprintf(w, "  plain:   %6.2fs   durable: %6.2fs  (%+.1f%% wall-clock)\n",
+		fmt.Fprintf(w, "checkpoint overhead (every %d units, workers=1, min of %d reps):\n",
+			cb.Every, cb.Reps)
+		fmt.Fprintf(w, "  plain:   %6.2fs   durable: %6.2fs  (%+.2f%% wall-clock, gate <= 1%%)\n",
 			cb.PlainSeconds, cb.DurableSeconds, cb.OverheadPct)
 		fmt.Fprintf(w, "  journal: %d snapshots, %d bytes, %.4fs write time (%.2f%% of campaign, gate <= 1%%)\n",
 			cb.Checkpoints, cb.CheckpointBytes, cb.WriteSeconds, cb.WritePct)

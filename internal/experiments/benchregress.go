@@ -26,14 +26,23 @@ func BenchRegress(w io.Writer, currentPath string, previousPaths []string) error
 		currentPath, cur.ParallelIterSec, cur.Findings)
 	// The durable-campaign gates are absolute, not baseline-relative:
 	// journal writes must stay under 1% of the campaign's wall-clock, and
-	// the durable run must reproduce the plain run's bug report.
+	// the durable run must reproduce the plain run's bug report. When the
+	// bench measured multiple reps per leg (min-of-N, Reps >= 2), the
+	// total wall-clock overhead is noise-robust enough to gate at 1% too —
+	// that closes the gap a single-rep measurement left between attributed
+	// write time and unattributed scheduling noise.
 	if cb := cur.Checkpoint; cb != nil {
-		fmt.Fprintf(w, "checkpoint: %.2f%% write time (gate <= 1%%), digest ok: %v\n",
-			cb.WritePct, cb.DigestOK)
+		fmt.Fprintf(w, "checkpoint: %.2f%% write time, %+.2f%% total overhead (gates <= 1%%), digest ok: %v\n",
+			cb.WritePct, cb.OverheadPct, cb.DigestOK)
 		if cb.WritePct > 1.0 {
 			failures = append(failures, fmt.Sprintf(
 				"%s: checkpoint journal writes cost %.2f%% of the campaign, gate is 1%%",
 				currentPath, cb.WritePct))
+		}
+		if cb.Reps >= 2 && cb.OverheadPct > 1.0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: durable campaign is %.2f%% slower than plain (min of %d reps), gate is 1%%",
+				currentPath, cb.OverheadPct, cb.Reps))
 		}
 		if !cb.DigestOK {
 			failures = append(failures, fmt.Sprintf(
@@ -54,6 +63,25 @@ func BenchRegress(w io.Writer, currentPath string, previousPaths []string) error
 		prevRate, curRate, leg := prev.ParallelIterSec, cur.ParallelIterSec, "parallel"
 		if prev.ParallelWorkers != cur.ParallelWorkers {
 			prevRate, curRate, leg = prev.BaselineIterSec, cur.BaselineIterSec, "baseline"
+		}
+		// Parallel efficiency (speedup / workers) is gated only against
+		// baselines recorded at the same worker count — efficiency at 2
+		// workers and at 8 workers are different quantities. Baselines
+		// predating the field derive it from their recorded speedup.
+		if prev.ParallelWorkers == cur.ParallelWorkers && prev.ParallelWorkers > 0 {
+			prevEff := prev.ParallelEfficiency
+			if prevEff == 0 {
+				prevEff = prev.Speedup / float64(prev.ParallelWorkers)
+			}
+			curEff := cur.ParallelEfficiency
+			if curEff == 0 && cur.ParallelWorkers > 0 {
+				curEff = cur.Speedup / float64(cur.ParallelWorkers)
+			}
+			if prevEff > 0 && curEff < 0.9*prevEff {
+				failures = append(failures, fmt.Sprintf(
+					"%s: parallel efficiency regressed to %.0f%% vs %.0f%% in %s (%d workers)",
+					currentPath, curEff*100, prevEff*100, p, cur.ParallelWorkers))
+			}
 		}
 		ratio := 0.0
 		if prevRate > 0 {

@@ -79,6 +79,34 @@ type CampaignConfig struct {
 	// worker count at the same seed. Workers == 1 is the sharded
 	// executor on one worker, not the legacy runner.
 	Workers int
+	// Batch is the sharded executor's work-unit size: each unit a worker
+	// drains is Batch contiguous logical iterations. 0 selects an
+	// automatic size from Iterations and Workers (see ResolvedBatch);
+	// results are byte-identical for every batch size.
+	Batch int
+}
+
+// ResolvedBatch is the effective work-unit size of the sharded
+// executor. The automatic choice aims at ~4 units per worker — coarse
+// enough to amortize per-unit scheduling and checkpoint costs, fine
+// enough that a straggler unit cannot idle the pool — and is a pure
+// function of the config (it feeds the checkpoint fingerprint, which
+// must not depend on the machine).
+func (cfg CampaignConfig) ResolvedBatch() int {
+	if cfg.Batch > 0 {
+		return cfg.Batch
+	}
+	if cfg.Workers < 1 {
+		return 1
+	}
+	b := cfg.Iterations / (cfg.Workers * 4)
+	if b < 1 {
+		b = 1
+	}
+	if b > 16 {
+		b = 16
+	}
+	return b
 }
 
 // DefaultCampaignConfig is sized so the full Table 3 campaign runs in

@@ -42,7 +42,7 @@ func CampaignFingerprint(cfg CampaignConfig) string {
 		targets += fmt.Sprintf(" flaky=%g", cfg.FlakyRate)
 	}
 	return core.CampaignFingerprint(mode, targets, faults.CatalogFingerprint(),
-		cfg.Workers, cfg.Iterations, campaignRunnerConfig(cfg))
+		cfg.Workers, cfg.ResolvedBatch(), cfg.Iterations, campaignRunnerConfig(cfg))
 }
 
 // RunGQSCampaignDurable is RunGQSCampaign under a cancelable context and
@@ -98,14 +98,14 @@ func runSequentialOn(ctx context.Context, c *Campaign, sim *gdb.Sim, cfg Campaig
 	var logs []shardLog
 	var cur shardLog
 	hooks := core.DurableHooks{
-		Payload: func(string, int) json.RawMessage {
-			p := encodeShardLog(&cur)
+		Payload: func(string, int, int) json.RawMessage {
+			p := encodeShardLogs([]shardLog{cur})
 			logs = append(logs, cur)
 			cur = shardLog{}
 			return p
 		},
 		Restore: func(u core.UnitRecord) {
-			logs = append(logs, decodeShardLog(name, u.Payload))
+			logs = append(logs, decodeShardLogs(name, u.Payload, 1)[0])
 		},
 	}
 	stats, _ := core.RunCheckpointedSequential(ctx, tgt, campaignRunnerConfig(cfg),
@@ -141,12 +141,14 @@ func runSequentialOn(ctx context.Context, c *Campaign, sim *gdb.Sim, cfg Campaig
 		logs = append(logs, cur) // ck == nil, or a canceled partial iteration
 	}
 	c.Robust.Add(stats.Robust)
-	mergeShardLogs(c, name, logs, seen, false)
+	mergeShardLogs(c, name, logs, seen, -1)
 }
 
 // shardEventRecord and shardLogRecord are the journal payload codec for
 // one shard log. Bugs are persisted by catalog ID and re-resolved on
-// decode; feature vectors are recomputed from the query text.
+// decode; feature vectors are recomputed from the query text. A unit
+// payload is a JSON array of shard-log records, one per logical shard
+// in the unit's range (sequential units always hold exactly one).
 type shardEventRecord struct {
 	Bug   string `json:"bug"`
 	Query string `json:"query"`
@@ -160,42 +162,54 @@ type shardLogRecord struct {
 	Events  []shardEventRecord `json:"events,omitempty"`
 }
 
-func encodeShardLog(log *shardLog) json.RawMessage {
-	rec := shardLogRecord{Queries: log.queries, Skips: log.skips}
-	for _, ev := range log.events {
-		rec.Events = append(rec.Events, shardEventRecord{
-			Bug: ev.bug.ID, Query: ev.query, Steps: ev.steps, At: ev.atLocal,
-		})
+func encodeShardLogs(logs []shardLog) json.RawMessage {
+	recs := make([]shardLogRecord, len(logs))
+	for i := range logs {
+		recs[i] = shardLogRecord{Queries: logs[i].queries, Skips: logs[i].skips}
+		for _, ev := range logs[i].events {
+			recs[i].Events = append(recs[i].Events, shardEventRecord{
+				Bug: ev.bug.ID, Query: ev.query, Steps: ev.steps, At: ev.atLocal,
+			})
+		}
 	}
-	p, err := json.Marshal(rec)
+	p, err := json.Marshal(recs)
 	if err != nil {
 		return nil
 	}
 	return p
 }
 
-func decodeShardLog(gdbName string, data json.RawMessage) shardLog {
-	var rec shardLogRecord
-	if len(data) == 0 || json.Unmarshal(data, &rec) != nil {
-		return shardLog{}
+// decodeShardLogs always returns exactly count logs: a payload that is
+// missing, truncated, or undecodable yields zero logs in the broken
+// positions (the unit then merges as if it had found nothing — the
+// fingerprint guards against every systematic cause).
+func decodeShardLogs(gdbName string, data json.RawMessage, count int) []shardLog {
+	logs := make([]shardLog, count)
+	var recs []shardLogRecord
+	if len(data) == 0 || json.Unmarshal(data, &recs) != nil {
+		return logs
 	}
-	log := shardLog{queries: rec.Queries, skips: rec.Skips}
 	cat := faults.Catalogs()[gdbName]
-	for _, er := range rec.Events {
-		if cat == nil {
-			break
+	for i := 0; i < len(recs) && i < count; i++ {
+		rec := recs[i]
+		log := shardLog{queries: rec.Queries, skips: rec.Skips}
+		for _, er := range rec.Events {
+			if cat == nil {
+				break
+			}
+			b := cat.ByID(er.Bug)
+			if b == nil {
+				continue // catalog drift is fingerprint-guarded; belt and braces
+			}
+			log.events = append(log.events, shardEvent{
+				bug:      b,
+				query:    er.Query,
+				features: metrics.Analyze(er.Query),
+				steps:    er.Steps,
+				atLocal:  er.At,
+			})
 		}
-		b := cat.ByID(er.Bug)
-		if b == nil {
-			continue // catalog drift is fingerprint-guarded; belt and braces
-		}
-		log.events = append(log.events, shardEvent{
-			bug:      b,
-			query:    er.Query,
-			features: metrics.Analyze(er.Query),
-			steps:    er.Steps,
-			atLocal:  er.At,
-		})
+		logs[i] = log
 	}
-	return log
+	return logs
 }

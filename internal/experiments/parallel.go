@@ -15,19 +15,25 @@ import (
 )
 
 // This file is the sharded campaign front-end: it fans the campaign's
-// iterations across core.RunParallel and then merges the per-shard
+// iterations across core.RunParallel and merges the per-shard
 // detections into a canonical, order-independent report.
 //
 // The merge is the half of the determinism contract that lives above the
-// executor. Shards complete in wall-clock order, which varies run to
+// executor. Work units complete in wall-clock order, which varies run to
 // run; the merge therefore never looks at completion order. Detections
-// are buffered per shard during the run and folded in ascending shard
-// order afterwards, deduplicating against a campaign-wide seen-set
-// exactly like the sequential path does. A finding's canonical AtQuery
-// index is its shard-local query index plus the query counts of every
-// earlier shard — the index it would have had in a purely sequential
-// replay of the shards — so `seed S, workers 1` and `seed S, workers N`
-// produce byte-identical CanonicalBugReport output.
+// are buffered per shard during the run and *streamed* into a dedicated
+// merger goroutine as each unit completes: the merger holds completed
+// ranges in a pending set and folds them strictly in ascending shard
+// order, deduplicating against a campaign-wide seen-set exactly like
+// the sequential path does. Folding unit [s, s+c) therefore always
+// happens after every shard < s has been folded and before any shard
+// ≥ s+c — the same total order the old end-of-run barrier produced,
+// minus the barrier: early shards merge while late shards still run. A
+// finding's canonical AtQuery index is its shard-local query index plus
+// the query counts of every earlier shard — the index it would have had
+// in a purely sequential replay of the shards — so `seed S, workers 1,
+// batch 1` and `seed S, workers N, batch K` produce byte-identical
+// CanonicalBugReport output.
 
 // shardEvent is one shard-local bug detection, buffered until the merge.
 type shardEvent struct {
@@ -63,11 +69,16 @@ func runShardedCampaignCtx(ctx context.Context, cfg CampaignConfig, ck *core.Che
 	meter := metrics.NewMeter()
 	c := &Campaign{Workers: cfg.Workers}
 	seen := map[string]bool{}
+	// One snapshot share for the whole campaign: shard i's generated
+	// graph is identical in every per-GDB leg (its RNG seed depends only
+	// on the campaign seed and i), so the seal and the snapshot's index
+	// build happen once per shard instead of once per shard per GDB.
+	share := core.NewSnapshotShare(cfg.Iterations, len(gdb.All()))
 	for _, sim := range gdb.All() {
 		if ctx.Err() != nil {
 			break
 		}
-		runShardedOn(ctx, c, sim.Name(), cfg, seen, meter, ck)
+		runShardedOn(ctx, c, sim.Name(), cfg, seen, meter, ck, share)
 	}
 	for range c.Findings {
 		meter.AddBug()
@@ -77,9 +88,9 @@ func runShardedCampaignCtx(ctx context.Context, cfg CampaignConfig, ck *core.Che
 	return c
 }
 
-// runShardedOn runs the sharded campaign against one GDB and merges the
-// shard logs into c in canonical order.
-func runShardedOn(ctx context.Context, c *Campaign, gdbName string, cfg CampaignConfig, seen map[string]bool, meter *metrics.Meter, ck *core.Checkpointer) {
+// runShardedOn runs the sharded campaign against one GDB, streaming
+// completed work units into the canonical ascending-shard merge.
+func runShardedOn(ctx context.Context, c *Campaign, gdbName string, cfg CampaignConfig, seen map[string]bool, meter *metrics.Meter, ck *core.Checkpointer, share *core.SnapshotShare) {
 	n := cfg.Iterations
 	if n <= 0 {
 		return
@@ -87,7 +98,9 @@ func runShardedOn(ctx context.Context, c *Campaign, gdbName string, cfg Campaign
 	pcfg := core.ParallelConfig{
 		Workers:    cfg.Workers,
 		Iterations: n,
+		Batch:      cfg.ResolvedBatch(),
 		Runner:     campaignRunnerConfig(cfg),
+		Share:      share,
 	}
 	connect := gdb.NewFactory(gdb.FactoryConfig{
 		GDB:       gdbName,
@@ -100,16 +113,54 @@ func runShardedOn(ctx context.Context, c *Campaign, gdbName string, cfg Campaign
 	// Shard slots are disjoint and observer calls per shard are
 	// sequential, so the logs need no locking (see RunParallel's
 	// observer contract). The checkpoint hooks obey the same slotting:
-	// Payload runs on the worker that just finished the shard, Restore on
+	// Payload runs on the worker that just finished the unit, Restore on
 	// the single-threaded feed loop before any worker starts.
 	logs := make([]shardLog, n)
+
+	// The streaming merge: completed unit ranges arrive on a channel (a
+	// restored unit's range from the feed loop, a live unit's from the
+	// worker that ran it — both after the unit's log slots are final, so
+	// the channel send orders the slot writes before the merger's reads)
+	// and the merger folds them strictly in ascending shard order,
+	// holding out-of-order ranges in a pending set. Only the merger
+	// goroutine touches c and seen until it is joined below. Units
+	// canceled mid-flight are never announced and never merged — exactly
+	// the units a resume discards and re-runs.
+	type unitRange struct{ start, count int }
+	merge := make(chan unitRange, 64)
+	merged := make(chan struct{})
+	go func() {
+		defer close(merged)
+		pending := make(map[int]int)
+		next := 0
+		for u := range merge {
+			pending[u.start] = u.count
+			for {
+				count, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				mergeShardLogs(c, gdbName, logs[next:next+count], seen, next)
+				next += count
+			}
+		}
+	}()
+
 	hooks := core.DurableHooks{
-		Payload: func(_ string, shard int) json.RawMessage { return encodeShardLog(&logs[shard]) },
+		Payload: func(_ string, start, count int) json.RawMessage {
+			return encodeShardLogs(logs[start : start+count])
+		},
 		Restore: func(u core.UnitRecord) {
-			if u.Shard >= 0 && u.Shard < n {
-				logs[u.Shard] = decodeShardLog(gdbName, u.Payload)
+			count := u.UnitCount()
+			if u.Shard >= 0 && u.Shard+count <= n {
+				copy(logs[u.Shard:u.Shard+count], decodeShardLogs(gdbName, u.Payload, count))
+				merge <- unitRange{start: u.Shard, count: count}
 			}
 		},
+	}
+	pcfg.UnitDone = func(start, count int, _ core.Stats) {
+		merge <- unitRange{start: start, count: count}
 	}
 	start := time.Now()
 	ps := core.RunCheckpointedParallel(ctx, pcfg, gdbName, factory, func(shard int, target core.Target, tc *core.TestCase) {
@@ -149,20 +200,26 @@ func runShardedOn(ctx context.Context, c *Campaign, gdbName string, cfg Campaign
 			latency:  time.Since(start),
 		})
 	}, ck, hooks)
-	meter.AddIterations(n)
+	close(merge)
+	<-merged
+	// Only iterations that actually ran count toward live throughput; a
+	// resumed campaign's restored units were another run's work.
+	meter.AddIterations(ps.Ran)
 	c.Robust.Add(ps.Robust)
-	mergeShardLogs(c, gdbName, logs, seen, true)
 }
 
 // mergeShardLogs folds buffered per-shard detections into the campaign
 // in canonical order: ascending shard index, AtQuery = campaign queries
-// so far + earlier shards' query counts + the shard-local index. With
-// shardIndexed false the logs are sequential iterations of the legacy
-// executor, whose findings report Shard 0 (see Finding.Shard).
-func mergeShardLogs(c *Campaign, gdbName string, logs []shardLog, seen map[string]bool, shardIndexed bool) {
+// so far + earlier shards' query counts + the shard-local index. The
+// sharded executor streams contiguous ranges through here in ascending
+// order (startShard is the range's first logical shard); the sequential
+// executor passes its whole iteration list at once with startShard < 0,
+// meaning "not shard-indexed" — its findings report Shard 0 (see
+// Finding.Shard).
+func mergeShardLogs(c *Campaign, gdbName string, logs []shardLog, seen map[string]bool, startShard int) {
 	base := c.Queries
-	for shard := range logs {
-		log := logs[shard]
+	for i := range logs {
+		log := logs[i]
 		for _, ev := range log.events {
 			if seen[ev.bug.ID] {
 				continue
@@ -179,8 +236,8 @@ func mergeShardLogs(c *Campaign, gdbName string, logs []shardLog, seen map[strin
 				Schema:   ev.schema,
 				Latency:  ev.latency,
 			}
-			if shardIndexed {
-				f.Shard = shard
+			if startShard >= 0 {
+				f.Shard = startShard + i
 			}
 			c.Findings = append(c.Findings, f)
 		}
