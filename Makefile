@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-regress bench-go profile verify smoke crashtest
+.PHONY: build test vet race bench bench-regress bench-go profile verify smoke crashtest plandiff
 
 build:
 	$(GO) build ./...
@@ -17,22 +17,32 @@ race:
 # Sharded-executor throughput bench: the same fixed-seed campaign at 1
 # worker and at >=2 workers (GOMAXPROCS forced to >=2 for the parallel
 # leg), plus the prepared-vs-text parse-share micro-comparison, the
+# compiled-plan-vs-interpreter plan-exec micro-comparison, the
 # COW-vs-clone snapshot-reset micro-comparison, and the durable-campaign
 # checkpoint-overhead comparison (min of 3 reps per leg); writes
-# BENCH_pr7.json — including the parallel_efficiency (speedup / workers)
-# the regression gate tracks — and fails if the two campaign runs report
-# different bug sets.
+# BENCH_pr9.json — including the parallel_efficiency (speedup / workers)
+# and campaign_allocs_per_iteration the regression gate tracks — and
+# fails if the two campaign runs report different bug sets.
 bench:
-	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr7.json
+	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr9.json
 
-# Regression gate: compares BENCH_pr7.json against every other
+# Regression gate: compares BENCH_pr9.json against every other
 # BENCH_*.json and fails on >10% parallel-throughput regression, a
 # parallel-efficiency regression vs a baseline at the same worker count,
-# a like-for-like bug-set mismatch, checkpoint-journal write time or
-# total durable overhead above 1% of the campaign, or a durable-vs-plain
-# bug-report mismatch.
+# a like-for-like bug-set or allocs-per-iteration (+10%) regression,
+# checkpoint-journal write time or total durable overhead above 1% of
+# the campaign, a durable-vs-plain bug-report mismatch, or a
+# plan-vs-interpreter result mismatch.
 bench-regress:
-	$(GO) run ./cmd/gqs-bench -exp bench-regress -bench-out BENCH_pr7.json
+	$(GO) run ./cmd/gqs-bench -exp bench-regress -bench-out BENCH_pr9.json
+
+# Planned-vs-interpreted differential under the race detector: every
+# query of a fixed-seed synthesized corpus (plus a curated construct
+# list) must produce byte-identical results — or the identical error —
+# on the compiled-plan path and the tree-walking interpreter, on every
+# dialect configuration.
+plandiff:
+	$(GO) test -race -count=1 -run 'TestPlanDiff' ./internal/engine/
 
 # Go micro-benchmarks (the pre-existing bench target).
 bench-go:
@@ -50,9 +60,9 @@ crashtest:
 	$(GO) test -race -count=3 -run 'TestKillResumeDifferential|TestMidWriteKillResume' ./internal/experiments/
 
 # Tier-1 verification gate (see ROADMAP.md), plus the crash-safety
-# differential and the perf-regression gate over the recorded
-# BENCH_*.json history.
-verify: build vet test race crashtest bench-regress
+# differential, the planned-vs-interpreted differential, and the
+# perf-regression gate over the recorded BENCH_*.json history.
+verify: build vet test race crashtest plandiff bench-regress
 
 # Short resilient-campaign smoke under the race detector: live faults,
 # flaky connection, watchdog timeouts — the hardened-runner acceptance.

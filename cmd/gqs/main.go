@@ -50,6 +50,7 @@ type options struct {
 	retries    int
 	flaky      float64
 	live       bool
+	noPlan     bool
 	workers    int
 	batch      int
 }
@@ -90,6 +91,7 @@ func main() {
 		retries    = flag.Int("retries", 2, "retries for transient connector errors (negative disables)")
 		flaky      = flag.Float64("flaky", 0, "inject transient connector errors at this rate (0..1) to exercise the retry machinery")
 		live       = flag.Bool("live", false, "manifest injected faults live: hangs block until the deadline, crashes panic in the connector")
+		noPlan     = flag.Bool("no-plan", false, "execute prepared queries on the interpreter instead of compiled plans (differential debugging; the bug set is identical either way)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for the sharded executor; the reported bug set is identical for every value at the same seed (0 = legacy sequential runner)")
 		batchSize  = flag.Int("batch", 0, "iterations per work unit in the sharded executor (0 = automatic, ~4 units per worker); the reported bug set is identical for every value")
 		checkpoint = flag.String("checkpoint", "", "journal completed work units to this file for crash-safe resume")
@@ -109,7 +111,7 @@ func main() {
 		maxSteps: *maxSteps, resultSet: *resultSet,
 		verbose: *verbose, reportDir: *reportDir,
 		timeout: *timeout, retries: *retries,
-		flaky: *flaky, live: *live,
+		flaky: *flaky, live: *live, noPlan: *noPlan,
 		workers: *workers, batch: *batchSize,
 	}
 
@@ -184,7 +186,10 @@ func main() {
 // fingerprint renders the campaign identity the checkpoint journal is
 // bound to; see core.CampaignFingerprint. The output options (-v,
 // -reports) are deliberately excluded — they do not affect the
-// deterministic stream.
+// deterministic stream. -no-plan is excluded too: compiled plans and the
+// interpreter are behaviour-identical by contract (the plandiff gate
+// enforces it), so a campaign checkpointed under one may resume under
+// the other.
 func fingerprint(names []string, o options) string {
 	mode, workers := "sequential", 0
 	if o.workers > 0 {
@@ -331,7 +336,7 @@ func runParallel(ctx context.Context, name string, o options, ck *core.Checkpoin
 		return err // reject unknown names before spinning up a pool
 	}
 	connect := gdb.NewFactory(gdb.FactoryConfig{
-		GDB: name, Live: o.live, FlakyRate: o.flaky, Seed: o.seed,
+		GDB: name, Live: o.live, FlakyRate: o.flaky, Seed: o.seed, NoPlan: o.noPlan,
 	})
 	pcfg := core.ParallelConfig{
 		Workers:    o.workers,
@@ -408,6 +413,7 @@ func run(ctx context.Context, name string, o options, ck *core.Checkpointer) err
 	}
 	defer sim.Close()
 	sim.SetLiveFaults(o.live)
+	sim.SetPlanExecution(!o.noPlan)
 
 	var target gdb.Connector = sim
 	if o.flaky > 0 {

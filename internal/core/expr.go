@@ -259,12 +259,16 @@ func (s *Synthesizer) complexifyAccess(varName, prop string, intended value.Valu
 	// running results v1 are only the bookkeeping of lines 9-10.
 	for d := 0; d < depth; d++ {
 		cls := functions.ClassOf(v1)
-		var candidates []exprTemplate
+		if s.tmplScratch == nil {
+			s.tmplScratch = make([]exprTemplate, 0, len(nestTemplates))
+		}
+		candidates := s.tmplScratch[:0]
 		for _, t := range nestTemplates {
 			if t.accepts.Accepts(cls) {
 				candidates = append(candidates, t)
 			}
 		}
+		s.tmplScratch = candidates
 		if len(candidates) == 0 {
 			break
 		}

@@ -562,10 +562,13 @@ func (s *Synthesizer) encodeChains(chains []*Path, scope map[string]graph.ID) ([
 		return v
 	}
 
-	var out []*encChain
+	out := make([]*encChain, 0, len(chains))
 	for _, c := range chains {
-		part := &ast.PatternPart{}
-		ec := &encChain{part: part}
+		part := &ast.PatternPart{
+			Nodes: make([]*ast.NodePattern, 0, len(c.Nodes)),
+			Rels:  make([]*ast.RelPattern, 0, len(c.Steps)),
+		}
+		ec := &encChain{part: part, nodeIDs: make([]graph.ID, 0, len(c.Nodes)), relIDs: make([]graph.ID, 0, len(c.Steps))}
 		for i, nid := range c.Nodes {
 			np := &ast.NodePattern{Variable: varOf(elemRef{id: nid})}
 			n := s.g.Node(nid)
@@ -573,6 +576,7 @@ func (s *Synthesizer) encodeChains(chains []*Path, scope map[string]graph.ID) ([
 				// Attach a random non-empty subset of the labels.
 				k := 1 + s.r.Intn(len(n.Labels))
 				perm := s.r.Perm(len(n.Labels))
+				np.Labels = make([]string, 0, k)
 				for _, j := range perm[:k] {
 					np.Labels = append(np.Labels, n.Labels[j])
 				}

@@ -32,8 +32,12 @@ type Target interface {
 // (the gdb connectors implement it). When a target supports it, the
 // runner parses and analyzes each synthesized query exactly once and
 // hands every execution — including transient-error retries — the same
-// immutable PreparedQuery, instead of paying a parse per call. Targets
-// without it (e.g. the differential baselines) keep the text path.
+// immutable PreparedQuery, instead of paying a parse per call. Since the
+// plan compiler landed, Prepare also lowers the query to a physical plan
+// (engine/plan.go) shared the same way: one compile serves all five
+// oracle targets and every shard, and each ExecutePrepared runs the plan
+// on slot frames instead of interpreting the AST. Targets without the
+// interface (e.g. the differential baselines) keep the text path.
 type PreparedTarget interface {
 	Target
 	ExecutePrepared(ctx context.Context, pq *engine.PreparedQuery) (*engine.Result, error)
@@ -357,18 +361,16 @@ func (rn *Runner) runOne(syn *Synthesizer, gt *GroundTruth) *TestCase {
 	tc.Steps = sq.Steps
 	tc.Expected = sq.Expected
 
-	// Prepare once: one parse, one feature analysis, shared by every
-	// attempt below and every downstream consumer (fault triggers on the
-	// target, feature aggregation in the observers). Text-only targets
-	// skip this and re-parse per call as before. Synthesized queries
-	// always parse (they are printed from an AST); if one ever does not,
-	// the text path surfaces the identical parser error.
+	// Prepare once: one feature analysis and one plan compilation, shared
+	// by every attempt below and every downstream consumer (fault
+	// triggers on the target, feature aggregation in the observers). The
+	// synthesizer built the AST and printed sq.Text from it, so the
+	// prepared path hands that AST over directly — no parse at all.
+	// Text-only targets skip this and parse per call as before.
 	var pq *engine.PreparedQuery
 	if rn.prepared != nil {
-		if p, err := engine.Prepare(sq.Text); err == nil {
-			pq = p
-			tc.Features = p.Features
-		}
+		pq = engine.PrepareAST(sq.Query, sq.Text)
+		tc.Features = pq.Features
 	}
 
 	// Execute through the watchdog, retrying transient connector errors

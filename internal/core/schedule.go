@@ -70,41 +70,47 @@ func Schedule(r *rand.Rand, plan *Plan, maxSteps int) []*Step {
 	vars := []string{}
 	scan := append([]*Operation(nil), plan.Ops...)
 
+	// Hoisted out of the step loop so each closure allocates once per
+	// schedule rather than once per step.
+	swap := func(i, j int) { scan[i], scan[j] = scan[j], scan[i] }
+	align := func(step *Step, o *Operation) bool {
+		if len(step.Ops) == 0 {
+			return true
+		}
+		if step.Ops[0].Clause() != o.Clause() {
+			return false
+		}
+		// One UNWIND clause expands exactly one list.
+		return o.Clause() != ClauseUnwind
+	}
+	assign := func(step *Step, o *Operation) {
+		step.Ops = append(step.Ops, o)
+		assigned[o] = true
+		remaining--
+	}
+
 	for remaining > 0 {
 		// The scan order within a pass is unspecified by Algorithm 1;
 		// shuffling it lets any eligible operation open a step — an
 		// unanchored UNWIND can precede the first MATCH (Figure 17).
-		r.Shuffle(len(scan), func(i, j int) { scan[i], scan[j] = scan[j], scan[i] })
-		step := &Step{VarsBefore: append([]string(nil), vars...)}
+		r.Shuffle(len(scan), swap)
+		// refVars returns a fresh slice each step and nothing mutates it
+		// in place afterwards, so steps can share it without copying.
+		step := &Step{VarsBefore: vars}
 		mustPack := len(steps) >= maxSteps-2
-		align := func(o *Operation) bool {
-			if len(step.Ops) == 0 {
-				return true
-			}
-			if step.Ops[0].Clause() != o.Clause() {
-				return false
-			}
-			// One UNWIND clause expands exactly one list.
-			return o.Clause() != ClauseUnwind
-		}
-		assign := func(o *Operation) {
-			step.Ops = append(step.Ops, o)
-			assigned[o] = true
-			remaining--
-		}
 		for _, o := range scan {
-			if assigned[o] || indeg[o] != 0 || !align(o) {
+			if assigned[o] || indeg[o] != 0 || !align(step, o) {
 				continue
 			}
 			if !mustPack && r.Intn(2) == 0 {
 				continue
 			}
-			assign(o)
+			assign(step, o)
 			// Weakly-related successors may join the same step (lines
 			// 7-11 of Algorithm 1).
 			for _, o2 := range o.weak {
-				if !assigned[o2] && indeg[o2] == 1 && align(o2) && (mustPack || r.Intn(2) == 0) {
-					assign(o2)
+				if !assigned[o2] && indeg[o2] == 1 && align(step, o2) && (mustPack || r.Intn(2) == 0) {
+					assign(step, o2)
 				}
 			}
 		}
@@ -113,7 +119,7 @@ func Schedule(r *rand.Rand, plan *Plan, maxSteps int) []*Step {
 			// eligible operation so the loop terminates.
 			for _, o := range scan {
 				if !assigned[o] && indeg[o] == 0 {
-					assign(o)
+					assign(step, o)
 					break
 				}
 			}
@@ -131,7 +137,7 @@ func Schedule(r *rand.Rand, plan *Plan, maxSteps int) []*Step {
 		}
 		step.Clause = step.Ops[0].Clause()
 		vars = refVars(vars, step)
-		step.VarsAfter = append([]string(nil), vars...)
+		step.VarsAfter = vars
 		steps = append(steps, step)
 	}
 	return normalizeTail(steps)
@@ -140,14 +146,17 @@ func Schedule(r *rand.Rand, plan *Plan, maxSteps int) []*Step {
 // refVars implements line 14 of Algorithm 1: variables introduced by the
 // step become referenceable; removed ones stop being referenceable.
 func refVars(prev []string, step *Step) []string {
-	removed := map[string]bool{}
+	var removed map[string]bool
 	for _, o := range step.Ops {
 		switch o.Kind {
 		case OpRemoveElem, OpRemoveAlias, OpTruncList:
+			if removed == nil {
+				removed = make(map[string]bool, len(step.Ops))
+			}
 			removed[o.Var] = true
 		}
 	}
-	var out []string
+	out := make([]string, 0, len(prev)+len(step.Ops))
 	for _, v := range prev {
 		if !removed[v] {
 			out = append(out, v)
@@ -156,22 +165,12 @@ func refVars(prev []string, step *Step) []string {
 	for _, o := range step.Ops {
 		switch o.Kind {
 		case OpAddElem, OpAccessProp, OpAddAlias, OpExpandList:
-			if !removed[o.Var] {
-				out = append(out, v0(out, o.Var)...)
+			if !removed[o.Var] && !containsStr(out, o.Var) {
+				out = append(out, o.Var)
 			}
 		}
 	}
 	return out
-}
-
-// v0 returns {v} if v is not already present in vars.
-func v0(vars []string, v string) []string {
-	for _, x := range vars {
-		if x == v {
-			return nil
-		}
-	}
-	return []string{v}
 }
 
 // normalizeTail guarantees the schedule ends with a projection step (the

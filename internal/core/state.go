@@ -95,7 +95,7 @@ func (t *Tracker) ConstantVarNames() []string {
 	if len(t.rows) == 0 {
 		return nil
 	}
-	var out []string
+	out := make([]string, 0, len(t.rows[0].env))
 	for v, first := range t.rows[0].env {
 		constant := true
 		for _, r := range t.rows[1:] {
@@ -208,7 +208,7 @@ func (t *Tracker) Project(items []ProjItem, distinct bool) error {
 				return err
 			}
 			env[it.Name] = v
-			key.WriteString(v.Key())
+			v.AppendKey(&key)
 			key.WriteByte('|')
 		}
 		k := key.String()

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"gqs/internal/cypher/ast"
 	"gqs/internal/engine"
@@ -80,6 +81,10 @@ type Synthesizer struct {
 	constCtx  eval.Ctx
 	constEnv  map[string]value.Value
 	constWrap map[string]value.Value
+	// tmplScratch is the reusable candidate buffer of complexifyAccess's
+	// template filter; the selection only reads the current round's
+	// contents, so the backing array carries over between rounds.
+	tmplScratch []exprTemplate
 }
 
 // NewSynthesizer creates a synthesizer over the generated graph.
@@ -169,10 +174,12 @@ func dedupeResult(r *engine.Result) *engine.Result {
 	out := &engine.Result{Columns: r.Columns}
 	for i, row := range r.Rows {
 		_ = i
-		key := ""
+		var kb strings.Builder
 		for _, v := range row {
-			key += v.Key() + "|"
+			v.AppendKey(&kb)
+			kb.WriteByte('|')
 		}
+		key := kb.String()
 		if !seen[key] {
 			seen[key] = true
 			out.Rows = append(out.Rows, row)

@@ -9,6 +9,7 @@ import (
 // pitfalls and matches the style of the paper's synthesized queries.
 func (q *Query) String() string {
 	var sb strings.Builder
+	sb.Grow(256)
 	for i, p := range q.Parts {
 		if i > 0 {
 			sb.WriteString(" UNION ")
@@ -274,7 +275,7 @@ func printExpr(sb *strings.Builder, e Expr) {
 		if e.Val.IsNull() {
 			sb.WriteString("null")
 		} else {
-			sb.WriteString(e.Val.String())
+			e.Val.Format(sb)
 		}
 	case *Variable:
 		sb.WriteString(e.Name)

@@ -267,3 +267,81 @@ func Depth(e Expr) int {
 	}
 	return max + 1
 }
+
+// VarsSatisfy reports whether every free variable of the expression
+// satisfies pred, short-circuiting on the first that does not. It is the
+// allocation-free form of "are all of Variables(e) in this scope" for
+// the clause planner's conjunct scheduling, where materializing the
+// variable list per conjunct per scope would dominate the compile cost.
+// Variables bound by list comprehensions or quantifiers are not free
+// within their scope, exactly as in Variables.
+func VarsSatisfy(e Expr, pred func(string) bool) bool {
+	return varsSatisfy(e, pred, nil)
+}
+
+// varsSatisfy mirrors varCollector's traversal with an early-exit
+// predicate. bound is the binder stack, threaded as a parameter so the
+// common binder-free walk allocates nothing.
+func varsSatisfy(e Expr, pred func(string) bool, bound []string) bool {
+	switch e := e.(type) {
+	case nil:
+	case *Variable:
+		for _, b := range bound {
+			if b == e.Name {
+				return true // bound locally, not free: always satisfied
+			}
+		}
+		return pred(e.Name)
+	case *Literal, *Parameter:
+	case *PropAccess:
+		return varsSatisfy(e.Subject, pred, bound)
+	case *Binary:
+		return varsSatisfy(e.L, pred, bound) && varsSatisfy(e.R, pred, bound)
+	case *Unary:
+		return varsSatisfy(e.X, pred, bound)
+	case *FuncCall:
+		for _, a := range e.Args {
+			if !varsSatisfy(a, pred, bound) {
+				return false
+			}
+		}
+	case *ListLit:
+		for _, el := range e.Elems {
+			if !varsSatisfy(el, pred, bound) {
+				return false
+			}
+		}
+	case *MapLit:
+		for _, v := range e.Vals {
+			if !varsSatisfy(v, pred, bound) {
+				return false
+			}
+		}
+	case *IndexExpr:
+		return varsSatisfy(e.Subject, pred, bound) && varsSatisfy(e.Index, pred, bound)
+	case *SliceExpr:
+		return varsSatisfy(e.Subject, pred, bound) && varsSatisfy(e.From, pred, bound) && varsSatisfy(e.To, pred, bound)
+	case *CaseExpr:
+		if !varsSatisfy(e.Test, pred, bound) {
+			return false
+		}
+		for i := range e.Whens {
+			if !varsSatisfy(e.Whens[i], pred, bound) || !varsSatisfy(e.Thens[i], pred, bound) {
+				return false
+			}
+		}
+		return varsSatisfy(e.Else, pred, bound)
+	case *ListComprehension:
+		if !varsSatisfy(e.List, pred, bound) { // the list is evaluated outside the binding
+			return false
+		}
+		inner := append(bound, e.Var)
+		return varsSatisfy(e.Where, pred, inner) && varsSatisfy(e.Map, pred, inner)
+	case *Quantifier:
+		if !varsSatisfy(e.List, pred, bound) {
+			return false
+		}
+		return varsSatisfy(e.Pred, pred, append(bound, e.Var))
+	}
+	return true
+}

@@ -1,0 +1,640 @@
+package engine
+
+import (
+	"errors"
+
+	"gqs/internal/cypher/ast"
+	"gqs/internal/eval"
+	"gqs/internal/functions"
+	"gqs/internal/value"
+)
+
+// This file lowers a parsed query to the physical plan of plan.go. The
+// lowering is conservative: any construct whose behaviour the compiled
+// executor cannot reproduce byte-for-byte — writes, `*` projections, a
+// misplaced RETURN, unknown procedures — makes compileQueryPlan return
+// nil, and ExecutePrepared falls back to the tree-walking interpreter,
+// which is trivially behaviour-identical (it IS the behaviour). The
+// synthesized read-only corpus compiles in full; the fallback exists for
+// hand-written queries and the write tests.
+var errUnsupportedPlan = errors.New("plan: unsupported construct")
+
+// scope maps in-scope variable names to their frame slots.
+type scope map[string]int
+
+func (s scope) clone() scope {
+	out := make(scope, len(s)+4)
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s scope) lookup(name string) (int, bool) {
+	slot, ok := s[name]
+	return slot, ok
+}
+
+// slotAlloc hands out frame slots for one query part; its final count is
+// the part's frame width.
+type slotAlloc struct{ n int }
+
+func (a *slotAlloc) next() int {
+	s := a.n
+	a.n++
+	return s
+}
+
+func (a *slotAlloc) compiler(sc scope) *eval.Compiler {
+	return &eval.Compiler{Lookup: sc.lookup, Temp: a.next}
+}
+
+// compileQueryPlan lowers a query, or returns nil when any part uses a
+// construct the plan executor does not cover.
+func compileQueryPlan(q *ast.Query) *queryPlan {
+	qp := &queryPlan{all: q.All}
+	for _, part := range q.Parts {
+		pp, err := compileSinglePlan(part)
+		if err != nil {
+			return nil
+		}
+		qp.parts = append(qp.parts, pp)
+	}
+	return qp
+}
+
+func compileSinglePlan(sq *ast.SingleQuery) (*partPlan, error) {
+	alloc := &slotAlloc{}
+	sc := scope{}
+	pp := &partPlan{}
+	var projs []*cProjection
+	for i, c := range sq.Clauses {
+		last := i == len(sq.Clauses)-1
+		switch c := c.(type) {
+		case *ast.MatchClause:
+			st, out, err := compileMatchStage(c, sc, alloc)
+			if err != nil {
+				return nil, err
+			}
+			pp.stages = append(pp.stages, st)
+			sc = out
+		case *ast.UnwindClause:
+			st, out, err := compileUnwindStage(c, sc, alloc)
+			if err != nil {
+				return nil, err
+			}
+			pp.stages = append(pp.stages, st)
+			sc = out
+		case *ast.WithClause:
+			st, out, err := compileProjectionStage(&c.Projection, c.Where, sc, alloc, true, false)
+			if err != nil {
+				return nil, err
+			}
+			pp.stages = append(pp.stages, st)
+			projs = append(projs, st)
+			sc = out
+		case *ast.ReturnClause:
+			if !last {
+				return nil, errUnsupportedPlan // interpreter raises the error
+			}
+			st, _, err := compileProjectionStage(&c.Projection, nil, sc, alloc, false, true)
+			if err != nil {
+				return nil, err
+			}
+			pp.stages = append(pp.stages, st)
+			projs = append(projs, st)
+		case *ast.CallClause:
+			st, out, err := compileCallStage(c, sc, alloc, last)
+			if err != nil {
+				return nil, err
+			}
+			pp.stages = append(pp.stages, st)
+			sc = out
+		default:
+			// Write clauses (and anything new) stay on the interpreter.
+			return nil, errUnsupportedPlan
+		}
+	}
+	pp.width = alloc.n
+	// Projections need the final width for their interpreter cold path
+	// and the SKIP/LIMIT scratch frame; it is only known now.
+	for _, p := range projs {
+		p.width = alloc.n
+	}
+	return pp, nil
+}
+
+// --- MATCH ---------------------------------------------------------
+
+func compileMatchStage(c *ast.MatchClause, sc scope, alloc *slotAlloc) (*cMatch, scope, error) {
+	pvars := patternVars(c.Patterns)
+	out := sc.clone()
+	optFill := make([]int, 0, len(pvars))
+	for _, v := range pvars {
+		if _, ok := out[v]; !ok {
+			s := alloc.next()
+			out[v] = s
+			optFill = append(optFill, s)
+		}
+	}
+	st := &cMatch{optional: c.Optional, optFill: optFill}
+
+	// Conjunct predicates are compiled against the full post-clause
+	// scope: a conjunct referencing a variable that never binds becomes a
+	// closure raising the unknown-variable error when evaluated, exactly
+	// as the interpreter's conservative final pass surfaces it.
+	var conj []ast.Expr
+	if c.Where != nil {
+		conj = splitWhereExprs(nil, c.Where)
+	}
+	preds := make([]eval.CompiledPred, len(conj))
+	pcmp := alloc.compiler(out)
+	for i, cj := range conj {
+		p, err := pcmp.CompilePred(cj)
+		if err != nil {
+			return nil, nil, errUnsupportedPlan
+		}
+		preds[i] = p
+	}
+
+	// Schedule each conjunct at the earliest point where its variables
+	// are all bound. Boundness is static — every row at a clause boundary
+	// carries the same variable set — so the compile-time schedule equals
+	// the interpreter's per-row readiness checks. VarsSatisfy walks the
+	// conjunct instead of materializing its variable list; the scheduling
+	// decision is identical.
+	cum := make(map[string]bool, len(sc))
+	for name := range sc {
+		cum[name] = true
+	}
+	inCum := func(name string) bool { return cum[name] }
+	assigned := make([]bool, len(conj))
+	for i, cj := range conj {
+		if ast.VarsSatisfy(cj, inCum) {
+			st.entry = append(st.entry, preds[i])
+			assigned[i] = true
+		}
+	}
+	perPart := make([][]int, len(c.Patterns))
+	for pi, p := range c.Patterns {
+		for ni, n := range p.Nodes {
+			if n.Variable != "" {
+				cum[n.Variable] = true
+			}
+			if ni < len(p.Rels) && p.Rels[ni].Variable != "" {
+				cum[p.Rels[ni].Variable] = true
+			}
+		}
+		for i, cj := range conj {
+			if !assigned[i] && ast.VarsSatisfy(cj, inCum) {
+				perPart[pi] = append(perPart[pi], i)
+				assigned[i] = true
+			}
+		}
+	}
+	for i := range conj {
+		if !assigned[i] {
+			st.final = append(st.final, preds[i])
+		}
+	}
+
+	// Lower each pattern part. entryNames grows with each part's
+	// variables: part p's chain starts with everything parts 0..p-1
+	// bound, mirroring the interpreter's env. Only the forward
+	// orientation is compiled here; the reverse — used only when the
+	// executing store makes the last endpoint strictly cheaper — is
+	// deferred behind cPart.revBuild, which snapshots this loop's state
+	// (entryList prefix, conjunct assignment, fwd temp slots) so the
+	// deferred build produces exactly the chain the eager one would have.
+	entryNames := make(map[string]bool, len(sc))
+	entryList := make([]string, 0, len(sc)+len(pvars))
+	for name := range sc {
+		entryNames[name] = true
+		entryList = append(entryList, name)
+	}
+	for pi, p := range c.Patterns {
+		cp := &cPart{
+			costFirst: costSpec(p.Nodes[0], entryNames),
+			costLast:  costSpec(p.Nodes[len(p.Nodes)-1], entryNames),
+		}
+		// Record the temp slots the forward build allocates: the reverse
+		// orientation compiles the same property expressions, so it needs
+		// exactly as many, and temps are save/restored scratch — reusing
+		// the forward slots is safe even though the orientations pair
+		// them differently.
+		var temps []int
+		recTemp := func() int {
+			s := alloc.next()
+			temps = append(temps, s)
+			return s
+		}
+		var err error
+		cp.fwd, err = buildChain(p, entryNames, out, perPart[pi], conj, preds, recTemp)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(p.Nodes) >= 2 {
+			part, conjIdx := p, perPart[pi]
+			entrySnap := entryList[:len(entryList):len(entryList)]
+			cp.revBuild = func() *cChain {
+				entry := make(map[string]bool, len(entrySnap))
+				for _, name := range entrySnap {
+					entry[name] = true
+				}
+				i := 0
+				replay := func() int {
+					if i < len(temps) {
+						s := temps[i]
+						i++
+						return s
+					}
+					// Unreachable: both orientations compile the same
+					// property expressions and therefore allocate the
+					// same number of temps.
+					return 0
+				}
+				rev, err := buildChain(reverseChain(part), entry, out, conjIdx, conj, preds, replay)
+				if err != nil {
+					// Unreachable for the same reason: chain compilation
+					// only fails on AST node types the expression
+					// compiler does not know, and the forward build of
+					// these same expressions succeeded.
+					return nil
+				}
+				return rev
+			}
+		}
+		st.parts = append(st.parts, cp)
+		for ni, n := range p.Nodes {
+			if n.Variable != "" {
+				entryNames[n.Variable] = true
+				entryList = append(entryList, n.Variable)
+			}
+			if ni < len(p.Rels) && p.Rels[ni].Variable != "" {
+				entryNames[p.Rels[ni].Variable] = true
+				entryList = append(entryList, p.Rels[ni].Variable)
+			}
+		}
+	}
+	return st, out, nil
+}
+
+// costSpec captures matcher.nodeCost's inputs for one chain endpoint:
+// entry boundness (static) and the candidate labels. The cardinalities
+// themselves are read from the executing store (cCost.eval).
+func costSpec(n *ast.NodePattern, entry map[string]bool) cCost {
+	if n.Variable != "" && entry[n.Variable] {
+		return cCost{bound: true}
+	}
+	return cCost{labels: n.Labels}
+}
+
+// buildChain lowers one oriented pattern part. Inline property maps are
+// compiled against the scope bound BEFORE their element (the interpreter
+// checks properties before binding, so a self- or forward-reference is
+// an unknown-variable error there too); conjuncts are attached to the
+// element whose binding completes their variable set, in conjunct order.
+func buildChain(p *ast.PatternPart, entry map[string]bool, full scope, conjIdx []int, conj []ast.Expr, preds []eval.CompiledPred, temp func() int) (*cChain, error) {
+	bound := make(map[string]bool, len(entry)+len(p.Nodes)+len(p.Rels))
+	for name := range entry {
+		bound[name] = true
+	}
+	inBound := func(name string) bool { return bound[name] }
+	remaining := append([]int(nil), conjIdx...)
+	takeReady := func() []eval.CompiledPred {
+		var ready []eval.CompiledPred
+		rest := remaining[:0]
+		for _, ci := range remaining {
+			if ast.VarsSatisfy(conj[ci], inBound) {
+				ready = append(ready, preds[ci])
+			} else {
+				rest = append(rest, ci)
+			}
+		}
+		remaining = rest
+		return ready
+	}
+	// boundCmp resolves only variables bound so far: Compile resolves
+	// lookups eagerly, so sharing the mutating map across elements is
+	// safe — each element's expressions see the scope at its own point.
+	boundCmp := &eval.Compiler{
+		Lookup: func(name string) (int, bool) {
+			if !bound[name] {
+				return 0, false
+			}
+			return full.lookup(name)
+		},
+		Temp: temp,
+	}
+	compileProps := func(m *ast.MapLit) (cProps, error) {
+		var out cProps
+		if m == nil {
+			return out, nil
+		}
+		out.keys = m.Keys
+		out.vals = make([]eval.Compiled, len(m.Vals))
+		for i, v := range m.Vals {
+			fn, err := boundCmp.Compile(v)
+			if err != nil {
+				return out, errUnsupportedPlan
+			}
+			out.vals[i] = fn
+		}
+		return out, nil
+	}
+
+	ch := &cChain{nodes: make([]cNode, len(p.Nodes)), rels: make([]cRel, len(p.Rels))}
+	for i, np := range p.Nodes {
+		cn := &ch.nodes[i]
+		cn.slot = -1
+		if np.Variable != "" {
+			cn.slot = full[np.Variable]
+			cn.bound = bound[np.Variable]
+		}
+		cn.labels = np.Labels
+		var err error
+		cn.props, err = compileProps(np.Props)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			// Index probes for the entry scan, in the interpreter's
+			// label-major, key-minor order, sharing the compiled values.
+			for _, l := range np.Labels {
+				for k, key := range cn.props.keys {
+					cn.probes = append(cn.probes, cProbe{
+						label: l,
+						key:   key,
+						val:   cn.props.vals[k],
+						trace: "NodeIndexScan:" + l + "." + key,
+					})
+				}
+			}
+		}
+		if np.Variable != "" {
+			bound[np.Variable] = true
+		}
+		cn.conj = takeReady()
+		if i < len(p.Rels) {
+			rp := p.Rels[i]
+			cr := &ch.rels[i]
+			cr.slot = -1
+			if rp.Variable != "" {
+				cr.slot = full[rp.Variable]
+				cr.bound = bound[rp.Variable]
+			}
+			cr.types = rp.Types
+			cr.dir = rp.Direction
+			cr.props, err = compileProps(rp.Props)
+			if err != nil {
+				return nil, err
+			}
+			if rp.Variable != "" {
+				bound[rp.Variable] = true
+			}
+			cr.conj = takeReady()
+		}
+	}
+	if len(remaining) != 0 {
+		// Defensive: the stage classifier only assigns a conjunct to this
+		// part when the part's variables complete it.
+		return nil, errUnsupportedPlan
+	}
+	return ch, nil
+}
+
+// --- UNWIND --------------------------------------------------------
+
+func compileUnwindStage(c *ast.UnwindClause, sc scope, alloc *slotAlloc) (*cUnwind, scope, error) {
+	fn, err := alloc.compiler(sc).Compile(c.Expr)
+	if err != nil {
+		return nil, nil, errUnsupportedPlan
+	}
+	out := sc.clone()
+	slot := alloc.next()
+	out[c.Alias] = slot // shadows any previous binding, as the row write did
+	return &cUnwind{list: fn, slot: slot}, out, nil
+}
+
+// --- CALL ----------------------------------------------------------
+
+func compileCallStage(c *ast.CallClause, sc scope, alloc *slotAlloc, last bool) (*cCall, scope, error) {
+	var col string
+	switch c.Procedure {
+	case "db.labels":
+		col = "label"
+	case "db.relationshipTypes":
+		col = "relationshipType"
+	case "db.propertyKeys":
+		col = "propertyKey"
+	default:
+		return nil, nil, errUnsupportedPlan // interpreter raises the error
+	}
+	if len(c.Yield) > 1 {
+		return nil, nil, errUnsupportedPlan
+	}
+	if len(c.Yield) == 1 {
+		col = c.Yield[0]
+	}
+	out := sc.clone()
+	slot := alloc.next()
+	out[col] = slot
+	return &cCall{proc: c.Procedure, col: col, slot: slot, last: last}, out, nil
+}
+
+// --- WITH / RETURN -------------------------------------------------
+
+func compileProjectionStage(p *ast.Projection, where ast.Expr, sc scope, alloc *slotAlloc, requireAlias, isReturn bool) (*cProjection, scope, error) {
+	if p.Star || len(p.Items) == 0 {
+		// `*` depends on the runtime row contents; an empty projection is
+		// an error — both stay on the interpreter.
+		return nil, nil, errUnsupportedPlan
+	}
+	st := &cProjection{
+		distinct:     p.Distinct,
+		isReturn:     isReturn,
+		proj:         p,
+		requireAlias: requireAlias,
+		items:        make([]cProjItem, 0, len(p.Items)),
+		cols:         make([]string, 0, len(p.Items)),
+	}
+	seen := make(map[string]bool, len(p.Items))
+	for _, it := range p.Items {
+		name := it.Alias
+		if name == "" {
+			if v, ok := it.Expr.(*ast.Variable); ok {
+				name = v.Name
+			} else if requireAlias {
+				return nil, nil, errUnsupportedPlan // "must be aliased" error
+			} else {
+				name = ast.ExprString(it.Expr)
+			}
+		}
+		if seen[name] {
+			return nil, nil, errUnsupportedPlan // duplicate-column error
+		}
+		seen[name] = true
+		agg := eval.HasAggregate(it.Expr)
+		st.hasAgg = st.hasAgg || agg
+		st.items = append(st.items, cProjItem{name: name, slot: alloc.next(), agg: agg})
+		st.cols = append(st.cols, name)
+	}
+
+	if st.hasAgg {
+		if err := compileAggregation(st, p, sc, alloc); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		cmp := alloc.compiler(sc)
+		for i, it := range p.Items {
+			fn, err := cmp.Compile(it.Expr)
+			if err != nil {
+				return nil, nil, errUnsupportedPlan
+			}
+			st.items[i].fn = fn
+		}
+	}
+
+	out := make(scope, len(st.items))
+	for i := range st.items {
+		out[st.items[i].name] = st.items[i].slot
+	}
+
+	// ORDER BY scope mirrors project's orderEnv: projected columns only
+	// after aggregation or DISTINCT, otherwise input merged with the
+	// projected columns (which shadow on collision).
+	if len(p.OrderBy) > 0 {
+		sortScope := out
+		if !st.hasAgg && !p.Distinct {
+			sortScope = sc.clone()
+			for name, slot := range out {
+				sortScope[name] = slot
+			}
+		}
+		scmp := alloc.compiler(sortScope)
+		for _, s := range p.OrderBy {
+			fn, err := scmp.Compile(s.Expr)
+			if err != nil {
+				return nil, nil, errUnsupportedPlan
+			}
+			st.sorts = append(st.sorts, cSort{key: fn, desc: s.Desc})
+		}
+	}
+
+	// SKIP/LIMIT evaluate in an empty environment (evalIn(row{}, x)).
+	ecmp := &eval.Compiler{Temp: alloc.next}
+	if p.Skip != nil {
+		fn, err := ecmp.Compile(p.Skip)
+		if err != nil {
+			return nil, nil, errUnsupportedPlan
+		}
+		st.skip = fn
+	}
+	if p.Limit != nil {
+		fn, err := ecmp.Compile(p.Limit)
+		if err != nil {
+			return nil, nil, errUnsupportedPlan
+		}
+		st.limit = fn
+	}
+
+	// A WITH's WHERE sees only the projected row.
+	if where != nil {
+		wp, err := alloc.compiler(out).CompilePred(where)
+		if err != nil {
+			return nil, nil, errUnsupportedPlan
+		}
+		st.where = wp
+	}
+	return st, out, nil
+}
+
+// compileAggregation collects the aggregate calls of every item in item
+// order (as Engine.aggregate walks them), assigns each a result slot,
+// and compiles the item expressions with those slots spliced in place of
+// the calls via the Special hook.
+func compileAggregation(st *cProjection, p *ast.Projection, sc scope, alloc *slotAlloc) error {
+	cmp := alloc.compiler(sc)
+	callSlot := map[*ast.FuncCall]int{}
+	var compileErr error
+	for _, it := range p.Items {
+		ast.WalkExprs(it.Expr, func(x ast.Expr) bool {
+			f, ok := x.(*ast.FuncCall)
+			if !ok {
+				return true
+			}
+			if f.Star {
+				callSlot[f] = alloc.next()
+				st.calls = append(st.calls, cAggCall{
+					star:     true,
+					distinct: f.Distinct,
+					argCount: len(f.Args),
+					slot:     callSlot[f],
+				})
+				return false
+			}
+			spec := functions.LookupAgg(f.Name)
+			if spec == nil {
+				return true
+			}
+			c := cAggCall{
+				spec:     spec,
+				distinct: f.Distinct,
+				argCount: len(f.Args),
+				slot:     alloc.next(),
+			}
+			if len(f.Args) >= 1 {
+				fn, err := cmp.Compile(f.Args[0])
+				if err != nil {
+					compileErr = errUnsupportedPlan
+					return false
+				}
+				c.arg = fn
+			}
+			if spec.HasParam && len(f.Args) == 2 {
+				fn, err := cmp.Compile(f.Args[1])
+				if err != nil {
+					compileErr = errUnsupportedPlan
+					return false
+				}
+				c.param = fn
+			}
+			callSlot[f] = c.slot
+			st.calls = append(st.calls, c)
+			return false // aggregates do not nest
+		})
+	}
+	if compileErr != nil {
+		return compileErr
+	}
+	// Item expressions: grouping items evaluate per input row; aggregated
+	// items evaluate at finalization with each call reading its slot.
+	itemCmp := &eval.Compiler{
+		Lookup: sc.lookup,
+		Temp:   alloc.next,
+		Special: func(x ast.Expr) (eval.Compiled, bool) {
+			f, ok := x.(*ast.FuncCall)
+			if !ok {
+				return nil, false
+			}
+			slot, ok := callSlot[f]
+			if !ok {
+				return nil, false
+			}
+			return func(ctx *eval.Ctx) (value.Value, error) {
+				return ctx.Frame[slot], nil
+			}, true
+		},
+	}
+	for i, it := range p.Items {
+		fn, err := itemCmp.Compile(it.Expr)
+		if err != nil {
+			return errUnsupportedPlan
+		}
+		st.items[i].fn = fn
+		if !st.items[i].agg {
+			st.groupItems = append(st.groupItems, i)
+		}
+	}
+	return nil
+}

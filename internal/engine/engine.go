@@ -75,6 +75,12 @@ type Options struct {
 	// rows in different orders (one of the differential-tester
 	// false-positive sources of §5.4.3).
 	ReverseScan bool
+	// DisablePlan turns off compiled-plan execution of prepared queries,
+	// forcing the tree-walking interpreter: the `-no-plan` differential-
+	// debugging escape hatch. Distinct from DisablePlanner, which keeps
+	// plan execution but is an optimization-pass ablation (and also
+	// forces the interpreter, since compiled plans bake the passes in).
+	DisablePlan bool
 	// Seed drives the execution-scoped state behind the nondeterministic
 	// functions (rand(), timestamp()): every execution derives its own
 	// RNG and logical clock from it, so instances never share mutable
@@ -107,6 +113,9 @@ type Engine struct {
 	// pointer past the call, and one engine never evaluates two
 	// expressions at once, so a single scratch slot suffices.
 	ectx eval.Ctx
+	// pstate is the compiled-plan executor's reusable scratch (frame
+	// arena, match frame, uniqueness stack); see plan.go.
+	pstate planState
 }
 
 // New creates an engine with the given options. Each unset limit field
@@ -196,6 +205,16 @@ func (e *Engine) ExecuteParamsCtx(ctx context.Context, query string, params map[
 // AST is treated as read-only: it may be a PreparedQuery's tree shared
 // with concurrent executions on other engines.
 func (e *Engine) executeWithState(ctx context.Context, q *ast.Query, params map[string]value.Value) (*Result, error) {
+	e.beginExec(ctx, params)
+	defer e.endExec()
+	return e.ExecuteAST(q)
+}
+
+// beginExec installs the per-execution state. Both execution paths —
+// interpreter and compiled plan — go through it, so the execution
+// counter and the derived rand()/timestamp() stream advance identically
+// regardless of which path runs.
+func (e *Engine) beginExec(ctx context.Context, params map[string]value.Value) {
 	seed := e.opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -204,9 +223,15 @@ func (e *Engine) executeWithState(ctx context.Context, q *ast.Query, params map[
 	e.params = params
 	e.ctx = ctx
 	e.exec = functions.NewExecState(functions.DeriveSeed(seed, e.execSeq))
-	defer func() { e.params = nil; e.ctx = nil; e.exec = nil }()
-	return e.ExecuteAST(q)
 }
+
+// endExec drops the per-execution state so nothing outlives the call.
+func (e *Engine) endExec() { e.params = nil; e.ctx = nil; e.exec = nil }
+
+// SetPlanExecution toggles compiled-plan execution of prepared queries
+// (see Options.DisablePlan). Plan execution is behaviour-preserving, so
+// this only matters for differential debugging and benchmarks.
+func (e *Engine) SetPlanExecution(enabled bool) { e.opts.DisablePlan = !enabled }
 
 // checkCancel polls the in-flight context every cancelCheckWindow calls.
 // It is cheap enough to sit inside the match-expansion and row loops.

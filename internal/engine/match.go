@@ -31,6 +31,16 @@ func appendConjuncts(dst []conjunct, e ast.Expr) []conjunct {
 	return append(dst, conjunct{expr: e, vars: ast.Variables(e)})
 }
 
+// splitWhereExprs is the plan compiler's form of splitWhere: the same
+// top-level AND split, without the per-conjunct variable lists — the
+// compiler schedules conjuncts with ast.VarsSatisfy walks instead.
+func splitWhereExprs(dst []ast.Expr, e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.Binary); ok && b.Op == ast.OpAnd {
+		return splitWhereExprs(splitWhereExprs(dst, b.L), b.R)
+	}
+	return append(dst, e)
+}
+
 // execMatch runs a MATCH or OPTIONAL MATCH clause over the input rows.
 func (e *Engine) execMatch(c *ast.MatchClause, in []row) ([]row, error) {
 	var conj []conjunct
@@ -72,9 +82,17 @@ func (e *Engine) execMatch(c *ast.MatchClause, in []row) ([]row, error) {
 		steps:    &steps,
 		maxSteps: e.opts.Limits.MaxMatchSteps,
 	}
+	// One scratch env serves every input row: emitted rows are cloned by
+	// visibleRow and the undo logs fully restore the env between rows, so
+	// a clear-and-refill replaces the per-row map allocation.
+	env := make(row, envCapOf(in, envExtra))
 	var out []row
 	for _, r := range in {
-		m.env = cloneRowCap(r, envExtra)
+		clear(env)
+		for k, v := range r {
+			env[k] = v
+		}
+		m.env = env
 		matched := false
 		err := m.run(func(env row) error {
 			matched = true
@@ -100,11 +118,24 @@ func (e *Engine) execMatch(c *ast.MatchClause, in []row) ([]row, error) {
 	return out, nil
 }
 
+// envCapOf sizes the scratch env for the widest expected row plus the
+// pattern bindings.
+func envCapOf(in []row, extra int) int {
+	if len(in) == 0 {
+		return extra
+	}
+	return len(in[0]) + extra
+}
+
 // patternVars returns the named variables introduced by the patterns, in
 // first-occurrence order.
 func patternVars(ps []*ast.PatternPart) []string {
-	var out []string
-	seen := map[string]bool{}
+	n := 0
+	for _, p := range ps {
+		n += len(p.Nodes) + len(p.Rels)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
 	add := func(v string) {
 		if v != "" && !seen[v] {
 			seen[v] = true
@@ -264,7 +295,7 @@ func (m *matcher) nodeCost(n *ast.NodePattern) int {
 	st := m.engine.store
 	best := st.Graph().NumNodes()
 	for _, l := range n.Labels {
-		if c := len(st.NodesByLabel(l)); c < best {
+		if c := st.LabelCount(l); c < best {
 			best = c
 		}
 	}

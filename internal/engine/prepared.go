@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"hash/fnv"
+	"sync"
 
 	"gqs/internal/cypher/ast"
 	"gqs/internal/cypher/parser"
@@ -40,11 +41,26 @@ type PreparedQuery struct {
 	// fault triggers and the Table 5 metrics. Treat as read-only.
 	Features *metrics.Features
 	// plans carries the per-MATCH-clause analysis (WHERE conjuncts and
-	// pattern variables) computed once at Prepare time. Like the AST it
-	// is immutable after Prepare returns, so concurrent executions share
-	// it without synchronization.
-	plans map[*ast.MatchClause]*matchPlan
+	// pattern variables) the interpreter path needs, built lazily on the
+	// first interpreter execution: when the query compiled to a physical
+	// plan, the interpreter only ever runs under -no-plan, so paying the
+	// analysis at Prepare time would tax the common path for nothing.
+	// plansOnce makes the lazy build safe under concurrent executions;
+	// after it fires the map is immutable and shared like the AST.
+	plans     map[*ast.MatchClause]*matchPlan
+	plansOnce sync.Once
+	// plan is the compiled physical plan (slot frames, pushed-down
+	// conjuncts, compiled expressions; see plan.go), or nil when the
+	// query uses a construct the plan executor does not cover and
+	// execution stays on the interpreter. Immutable and shared exactly
+	// like the AST: everything dialect- or store-dependent is resolved by
+	// the executing engine at run time.
+	plan *queryPlan
 }
+
+// Planned reports whether the query compiled to a physical plan (false
+// means every execution uses the interpreter fallback).
+func (pq *PreparedQuery) Planned() bool { return pq.plan != nil }
 
 // matchPlan is the execution-independent analysis of one MATCH clause:
 // everything execMatch used to recompute per execution that is in fact a
@@ -87,17 +103,35 @@ func Prepare(text string) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
+	return PrepareAST(q, text), nil
+}
+
+// PrepareAST prepares an already-parsed (or synthesizer-built) query,
+// skipping the parse entirely: the synthesizer prints text from the AST
+// it constructs, so re-parsing that text would only rebuild the same
+// tree. text must be the rendering of q (it keys the feature hash and
+// compatibility paths). The AST is treated as immutable from here on,
+// exactly as if the parser had returned it.
+func PrepareAST(q *ast.Query, text string) *PreparedQuery {
 	f := metrics.AnalyzeAST(q)
 	h := fnv.New64a()
 	h.Write([]byte(text))
 	f.Hash = h.Sum64()
-	return &PreparedQuery{Text: text, AST: q, Features: f, plans: planMatches(q)}, nil
+	return &PreparedQuery{Text: text, AST: q, Features: f, plan: compileQueryPlan(q)}
 }
 
 // ExecutePrepared runs a prepared query, sharing its AST with any other
 // concurrent executions. Equivalent to ExecuteCtx(ctx, pq.Text) minus the
-// parse.
+// parse. Queries that compiled to a physical plan execute it directly
+// (identical behaviour, no per-row map allocation or AST walking) unless
+// the engine opts out via DisablePlan or DisablePlanner.
 func (e *Engine) ExecutePrepared(ctx context.Context, pq *PreparedQuery) (*Result, error) {
+	if pq.plan != nil && !e.opts.DisablePlan && !e.opts.DisablePlanner {
+		e.beginExec(ctx, nil)
+		defer e.endExec()
+		return e.runPlan(pq.plan)
+	}
+	pq.plansOnce.Do(func() { pq.plans = planMatches(pq.AST) })
 	e.plans = pq.plans
 	defer func() { e.plans = nil }()
 	return e.ExecuteASTCtx(ctx, pq.AST)

@@ -32,7 +32,7 @@ func (r *Result) RowMap(i int) map[string]value.Value {
 func (r *Result) rowKey(i int) string {
 	var sb strings.Builder
 	for _, v := range r.Rows[i] {
-		sb.WriteString(v.Key())
+		v.AppendKey(&sb)
 		sb.WriteByte('|')
 	}
 	return sb.String()

@@ -278,6 +278,17 @@ func (s *Store) NodesByLabel(label string) []graph.ID {
 	return mergeDeltas(base, add, del)
 }
 
+// LabelCount returns the number of nodes carrying the label. With no
+// pending deltas (every read-only execution) this is an O(1) read of the
+// immutable base index, with no merged-slice allocation.
+func (s *Store) LabelCount(label string) int {
+	add, del := s.labelAdd[label], s.labelDel[label]
+	if len(add) == 0 && len(del) == 0 {
+		return s.base.LabelCount(label)
+	}
+	return len(mergeDeltas(s.base.Label(label), add, del))
+}
+
 // NodesByIndex returns node IDs from the label+property index for an
 // exact value, ascending, and whether such an index exists. The same
 // aliasing contract as NodesByLabel applies: the slice may be shared

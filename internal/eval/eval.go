@@ -22,6 +22,11 @@ type Ctx struct {
 	Graph  *graph.Graph
 	Env    map[string]value.Value
 	Params map[string]value.Value
+	// Frame is the slot-addressed environment used by compiled
+	// expressions (see Compile): closures produced by a Compiler read
+	// variables as Frame[slot] instead of Env[name]. Tree-walking Eval
+	// never touches it, so the two evaluation modes coexist on one Ctx.
+	Frame []value.Value
 	// Exec is the per-execution rand()/timestamp() state. Nil selects the
 	// process-global fallback (race-free, not seed-reproducible).
 	Exec *functions.ExecState

@@ -10,6 +10,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"gqs/internal/core"
@@ -70,6 +71,10 @@ type BenchResult struct {
 	// synthesized query validated on all five dialects) through the text
 	// path versus the prepared path.
 	ParseShare *ParseShareResult `json:"parse_share,omitempty"`
+
+	// PlanExec is the micro-comparison of prepared execution on compiled
+	// physical plans versus the tree-walking interpreter (DESIGN.md §12).
+	PlanExec *PlanExecResult `json:"plan_exec,omitempty"`
 
 	// Snapshot is the micro-comparison of the copy-on-write Reset path
 	// against the legacy deep-clone Reset (DESIGN.md §9).
@@ -273,6 +278,136 @@ func measureSnapshotReset(seed int64) *SnapshotBenchResult {
 	return res
 }
 
+// PlanExecResult quantifies what compiled plans save per oracle check
+// (one prepared query executed on all five dialects): wall-clock and
+// allocations with plan execution on versus off, over the identical
+// synthesized corpus. IdenticalResults is the differential cross-check —
+// every query produced byte-equal results (or the same error) on both
+// paths, on every dialect.
+type PlanExecResult struct {
+	Queries int `json:"queries"`
+	Reps    int `json:"reps"`
+	// PlannedQueries counts corpus queries that compiled to a physical
+	// plan (the rest fall back to the interpreter on both legs).
+	PlannedQueries int `json:"planned_queries"`
+
+	InterpNsPerCheck  float64 `json:"interp_ns_per_check"`
+	PlannedNsPerCheck float64 `json:"planned_ns_per_check"`
+	// Speedup is interpreted/planned wall-clock per oracle check.
+	Speedup float64 `json:"speedup"`
+
+	InterpAllocsPerCheck  float64 `json:"interp_allocs_per_check"`
+	PlannedAllocsPerCheck float64 `json:"planned_allocs_per_check"`
+
+	IdenticalResults bool `json:"identical_results"`
+}
+
+// measurePlanExec runs the plan-vs-interpreter micro-comparison on a
+// synthesized corpus. Both legs drive the same five connectors over the
+// same prepared queries in the same order; only the engines'
+// plan-execution switch differs.
+func measurePlanExec(seed int64) *PlanExecResult {
+	r := rand.New(rand.NewSource(seed))
+	g, schema := graph.Generate(r, graph.GenConfig{MaxNodes: 12, MaxRels: 40})
+	syn := core.NewSynthesizer(r, g, schema, core.DefaultConfig())
+	var pqs []*engine.PreparedQuery
+	planned := 0
+	for tries := 0; len(pqs) < 24 && tries < 2000; tries++ {
+		gt := core.SelectGroundTruth(r, g, 6)
+		sq, err := syn.Synthesize(gt)
+		if err != nil {
+			continue
+		}
+		pq, err := engine.Prepare(sq.Text)
+		if err != nil {
+			continue
+		}
+		pqs = append(pqs, pq)
+		if pq.Planned() {
+			planned++
+		}
+	}
+	if len(pqs) == 0 {
+		return nil
+	}
+	snap := g.Seal()
+	conns := append(gdb.All(), gdb.NewReference())
+	for _, c := range conns {
+		if err := c.ResetSnapshot(snap, schema); err != nil {
+			return nil
+		}
+	}
+	ctx := context.Background()
+	const reps = 20
+	checks := float64(reps * len(pqs))
+
+	// One pre-pass per leg records a canonical rendering of every
+	// (query, dialect) outcome; the legs must agree exactly.
+	outcomes := func() []string {
+		var out []string
+		for _, pq := range pqs {
+			for _, c := range conns {
+				res, err := c.ExecutePrepared(ctx, pq)
+				if err != nil {
+					out = append(out, "error: "+err.Error())
+				} else {
+					out = append(out, strings.Join(res.Canonical(), "\n"))
+				}
+			}
+		}
+		return out
+	}
+
+	var ms runtime.MemStats
+	measure := func() (sec float64, allocs uint64) {
+		runtime.ReadMemStats(&ms)
+		m0 := ms.Mallocs
+		start := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			for _, pq := range pqs {
+				for _, c := range conns {
+					c.ExecutePrepared(ctx, pq) //nolint:errcheck // fault-injected errors are part of the workload
+				}
+			}
+		}
+		sec = time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms)
+		return sec, ms.Mallocs - m0
+	}
+
+	setPlan := func(on bool) {
+		for _, c := range conns {
+			c.SetPlanExecution(on)
+		}
+	}
+	setPlan(false)
+	interpOut := outcomes()
+	interpSec, interpAllocs := measure()
+	setPlan(true)
+	plannedOut := outcomes()
+	plannedSec, plannedAllocs := measure()
+
+	identical := len(interpOut) == len(plannedOut)
+	for i := 0; identical && i < len(interpOut); i++ {
+		identical = interpOut[i] == plannedOut[i]
+	}
+
+	res := &PlanExecResult{
+		Queries:               len(pqs),
+		Reps:                  reps,
+		PlannedQueries:        planned,
+		InterpNsPerCheck:      interpSec * 1e9 / checks,
+		PlannedNsPerCheck:     plannedSec * 1e9 / checks,
+		InterpAllocsPerCheck:  float64(interpAllocs) / checks,
+		PlannedAllocsPerCheck: float64(plannedAllocs) / checks,
+		IdenticalResults:      identical,
+	}
+	if plannedSec > 0 {
+		res.Speedup = interpSec / plannedSec
+	}
+	return res
+}
+
 // ParseShareResult quantifies what the prepared-execution layer saves
 // per oracle check: an oracle check here is one synthesized query
 // executed on all five dialects (reference + 4 simulated GDBs). The
@@ -472,6 +607,7 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 		res.ParallelEfficiency = res.Speedup / float64(res.ParallelWorkers)
 	}
 	res.ParseShare = measureParseShare(seed)
+	res.PlanExec = measurePlanExec(seed)
 	res.Snapshot = measureSnapshotReset(seed)
 	res.Checkpoint = measureCheckpointOverhead(seed, iterations)
 
@@ -490,6 +626,16 @@ func RunThroughputBench(w io.Writer, seed int64, iterations, workers int) BenchR
 		fmt.Fprintf(w, "  prepared: %8.0f ns/check  %5.1f parses/check  %7.0f allocs/check\n",
 			ps.PreparedNsPerCheck, ps.PreparedParsesPerCheck, ps.PreparedAllocsPerCheck)
 		fmt.Fprintf(w, "  parse-share speedup: %.2fx\n", ps.Speedup)
+	}
+	if pe := res.PlanExec; pe != nil {
+		fmt.Fprintf(w, "plan exec (%d queries [%d planned] x %d reps x 5 dialects):\n",
+			pe.Queries, pe.PlannedQueries, pe.Reps)
+		fmt.Fprintf(w, "  interpreter: %8.0f ns/check  %7.0f allocs/check\n",
+			pe.InterpNsPerCheck, pe.InterpAllocsPerCheck)
+		fmt.Fprintf(w, "  planned:     %8.0f ns/check  %7.0f allocs/check\n",
+			pe.PlannedNsPerCheck, pe.PlannedAllocsPerCheck)
+		fmt.Fprintf(w, "  plan-exec speedup: %.2fx; identical results: %v\n",
+			pe.Speedup, pe.IdenticalResults)
 	}
 	if sb := res.Snapshot; sb != nil {
 		fmt.Fprintf(w, "snapshot reset (%d nodes, %d rels, %d reps):\n",

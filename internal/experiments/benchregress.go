@@ -49,6 +49,13 @@ func BenchRegress(w io.Writer, currentPath string, previousPaths []string) error
 				"%s: durable campaign's bug report differs from the plain campaign's", currentPath))
 		}
 	}
+	// The plan-vs-interpreter differential is absolute: compiled plans
+	// must be observationally identical to the interpreter on the bench
+	// corpus, every dialect, every query.
+	if pe := cur.PlanExec; pe != nil && !pe.IdenticalResults {
+		failures = append(failures, fmt.Sprintf(
+			"%s: compiled-plan results differ from the interpreter's", currentPath))
+	}
 	for _, p := range previousPaths {
 		prev, err := ReadBenchJSON(p)
 		if err != nil {
@@ -96,9 +103,20 @@ func BenchRegress(w io.Writer, currentPath string, previousPaths []string) error
 				currentPath, leg, ratio, p, curRate, prevRate))
 			fmt.Fprint(w, "  REGRESSION")
 		}
+		// Allocations per iteration are gated like the bug set: only
+		// like-for-like (same seed and iteration count — a different
+		// workload allocates differently by construction). Unlike
+		// wall-clock, the allocation count is deterministic, so the gate
+		// margin covers only runtime-internal noise.
 		if prev.CampaignAllocsPerIter > 0 && cur.CampaignAllocsPerIter > 0 {
 			fmt.Fprintf(w, "  %.0f -> %.0f allocs/iteration",
 				prev.CampaignAllocsPerIter, cur.CampaignAllocsPerIter)
+			if comparable && cur.CampaignAllocsPerIter > 1.10*prev.CampaignAllocsPerIter {
+				failures = append(failures, fmt.Sprintf(
+					"%s: campaign allocations regressed to %.0f/iteration vs %.0f in %s (gate is +10%%)",
+					currentPath, cur.CampaignAllocsPerIter, prev.CampaignAllocsPerIter, p))
+				fmt.Fprint(w, "  ALLOC REGRESSION")
+			}
 		}
 		if comparable {
 			if prev.Findings != cur.Findings {

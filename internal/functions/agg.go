@@ -30,11 +30,19 @@ var aggOrdered []*AggSpec
 
 func registerAgg(s *AggSpec) {
 	aggRegistry[strings.ToLower(s.Name)] = s
+	// Canonical-spelling fast path, as in the scalar registry.
+	aggRegistry[s.Name] = s
 	aggOrdered = append(aggOrdered, s)
 }
 
 // LookupAgg returns the aggregation operator with the given name, or nil.
-func LookupAgg(name string) *AggSpec { return aggRegistry[strings.ToLower(name)] }
+// The canonical spelling avoids the ToLower allocation.
+func LookupAgg(name string) *AggSpec {
+	if s, ok := aggRegistry[name]; ok {
+		return s
+	}
+	return aggRegistry[strings.ToLower(name)]
+}
 
 // AllAggs returns every aggregation operator.
 func AllAggs() []*AggSpec { return aggOrdered }

@@ -151,8 +151,12 @@ func argErr(name, format string, args ...any) error {
 }
 
 // Lookup returns the scalar function with the given (case-insensitive)
-// name, or nil.
+// name, or nil. The canonical spelling hits the registry directly; only
+// unusual casings pay the ToLower allocation.
 func Lookup(name string) *Func {
+	if f, ok := registry[name]; ok {
+		return f
+	}
 	return registry[strings.ToLower(name)]
 }
 
@@ -170,6 +174,9 @@ func register(f *Func) {
 		panic("functions: duplicate registration of " + f.Name)
 	}
 	registry[key] = f
+	// Also index the canonical spelling so Lookup's exact-match fast
+	// path covers camelCase names (a no-op for all-lowercase ones).
+	registry[f.Name] = f
 	ordered = append(ordered, f)
 }
 

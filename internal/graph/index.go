@@ -58,6 +58,10 @@ func BuildIndex(ids []ID, node func(ID) *Node, schema *Schema) *Index {
 // read-only), or nil.
 func (ix *Index) Label(l string) []ID { return ix.label[l] }
 
+// LabelCount returns the number of nodes carrying the label — the
+// cardinality statistic behind the planner's scan-start cost model.
+func (ix *Index) LabelCount(l string) int { return len(ix.label[l]) }
+
 // Labels returns the labels with at least one node, sorted (shared,
 // read-only).
 func (ix *Index) Labels() []string { return ix.labels }

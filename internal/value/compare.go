@@ -355,6 +355,12 @@ func (v Value) Key() string {
 	return sb.String()
 }
 
+// AppendKey writes the Key encoding into the caller's builder, for row-key
+// assembly without an intermediate string per value.
+func (v Value) AppendKey(sb *strings.Builder) {
+	v.writeKey(sb)
+}
+
 func (v Value) writeKey(sb *strings.Builder) {
 	switch v.kind {
 	case KindNull:

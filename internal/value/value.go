@@ -256,6 +256,13 @@ func (v Value) String() string {
 	return sb.String()
 }
 
+// Format renders the value in the same Cypher literal notation as String,
+// appending to the caller's builder. Printers that assemble whole queries
+// or rows use it to avoid materializing an intermediate string per value.
+func (v Value) Format(sb *strings.Builder) {
+	v.format(sb)
+}
+
 func (v Value) format(sb *strings.Builder) {
 	switch v.kind {
 	case KindNull:
