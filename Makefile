@@ -19,22 +19,27 @@ race:
 # leg), plus the prepared-vs-text parse-share micro-comparison, the
 # compiled-plan-vs-interpreter plan-exec micro-comparison, the
 # COW-vs-clone snapshot-reset micro-comparison, and the durable-campaign
-# checkpoint-overhead comparison (min of 3 reps per leg); writes
-# BENCH_pr9.json — including the parallel_efficiency (speedup / workers)
-# and campaign_allocs_per_iteration the regression gate tracks — and
-# fails if the two campaign runs report different bug sets.
+# checkpoint-overhead comparison (min of 3 reps per leg), and the
+# large-graph leg (bulk-load rate, per-hop match latency, hub expansion
+# index vs scan); writes BENCH_pr10.json — including the
+# parallel_efficiency (speedup / workers) and
+# campaign_allocs_per_iteration the regression gate tracks — and fails
+# if the two campaign runs report different bug sets.
 bench:
-	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr9.json
+	$(GO) run ./cmd/gqs-bench -exp bench -iterations 20 -bench-out BENCH_pr10.json
 
-# Regression gate: compares BENCH_pr9.json against every other
+# Regression gate: compares BENCH_pr10.json against every other
 # BENCH_*.json and fails on >10% parallel-throughput regression, a
-# parallel-efficiency regression vs a baseline at the same worker count,
-# a like-for-like bug-set or allocs-per-iteration (+10%) regression,
-# checkpoint-journal write time or total durable overhead above 1% of
-# the campaign, a durable-vs-plain bug-report mismatch, or a
-# plan-vs-interpreter result mismatch.
+# parallel-efficiency regression vs a baseline at the same worker count
+# (annotated instead on single-CPU hosts), a like-for-like bug-set or
+# allocs-per-iteration (+10%) regression, checkpoint-journal write time
+# or total durable overhead above 1% of the campaign, a
+# durable-vs-plain bug-report mismatch, a plan-vs-interpreter result
+# mismatch, an index-vs-scan result mismatch on the large-graph leg, or
+# a >1.5x per-hop p95 latency regression vs any baseline carrying the
+# large_graph block.
 bench-regress:
-	$(GO) run ./cmd/gqs-bench -exp bench-regress -bench-out BENCH_pr9.json
+	$(GO) run ./cmd/gqs-bench -exp bench-regress -bench-out BENCH_pr10.json
 
 # Planned-vs-interpreted differential under the race detector: every
 # query of a fixed-seed synthesized corpus (plus a curated construct

@@ -28,7 +28,7 @@ func main() {
 		n          = flag.Int("n", 2000, "queries per tester for table5 (paper: 10000)")
 		rounds     = flag.Int("rounds", 400, "oracle rounds per tester per GDB for table6/fig18")
 		workers    = flag.Int("workers", 0, "worker-pool size for -exp bench (0 = GOMAXPROCS)")
-		benchOut   = flag.String("bench-out", "", "write the -exp bench result to this JSON file; for -exp bench-regress, the current result to gate (default BENCH_pr9.json)")
+		benchOut   = flag.String("bench-out", "", "write the -exp bench result to this JSON file; for -exp bench-regress, the current result to gate (default BENCH_pr10.json)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (after the selected experiments) to this file")
 	)
@@ -165,7 +165,7 @@ func main() {
 	if *exp == "bench-regress" {
 		cur := *benchOut
 		if cur == "" {
-			cur = "BENCH_pr9.json"
+			cur = "BENCH_pr10.json"
 		}
 		all, err := filepath.Glob("BENCH_*.json")
 		if err != nil {

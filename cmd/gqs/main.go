@@ -44,6 +44,7 @@ type options struct {
 	maxRels    int
 	maxSteps   int
 	resultSet  int
+	graphScale int
 	verbose    bool
 	reportDir  string
 	timeout    time.Duration
@@ -85,6 +86,7 @@ func main() {
 		maxRels    = flag.Int("max-rels", 60, "maximum relationships per generated graph")
 		maxSteps   = flag.Int("max-steps", 9, "maximum synthesis steps per query")
 		resultSet  = flag.Int("max-result-set", 6, "maximum expected-result-set size")
+		graphScale = flag.Int("graph-scale", 0, "bulk-generate power-law graphs of exactly this many nodes (0 = the paper's small-graph generator); large graphs pair well with low -iterations")
 		verbose    = flag.Bool("v", false, "print every failing query")
 		reportDir  = flag.String("reports", "", "directory to write reproducible bug reports into (one .md per distinct bug)")
 		timeout    = flag.Duration("timeout", 20*time.Second, "per-query wall-clock deadline (negative disables the watchdog)")
@@ -109,7 +111,8 @@ func main() {
 		seed: *seed, iterations: *iterations,
 		maxNodes: *maxNodes, maxRels: *maxRels,
 		maxSteps: *maxSteps, resultSet: *resultSet,
-		verbose: *verbose, reportDir: *reportDir,
+		graphScale: *graphScale,
+		verbose:    *verbose, reportDir: *reportDir,
 		timeout: *timeout, retries: *retries,
 		flaky: *flaky, live: *live, noPlan: *noPlan,
 		workers: *workers, batch: *batchSize,
@@ -211,7 +214,7 @@ func fingerprint(names []string, o options) string {
 func runnerConfig(o options) core.RunnerConfig {
 	cfg := core.DefaultRunnerConfig()
 	cfg.Seed = o.seed
-	cfg.Graph = graph.GenConfig{MaxNodes: o.maxNodes, MaxRels: o.maxRels}
+	cfg.Graph = graph.GenConfig{MaxNodes: o.maxNodes, MaxRels: o.maxRels, Scale: o.graphScale}
 	cfg.Synth.MaxSteps = o.maxSteps
 	cfg.Synth.Plan.MaxResultSet = o.resultSet
 	cfg.Robust.Timeout = o.timeout

@@ -66,11 +66,22 @@ func DefaultPlanConfig() PlanConfig {
 	return PlanConfig{MaxResultSet: 6, MaxExtraElems: 7, MaxAliases: 2, MaxLists: 2}
 }
 
+// gtEnumLimit bounds the full property enumeration below: above it
+// (bulk-generated graphs) SelectGroundTruth switches to element
+// sampling instead of collecting and sorting every property key of the
+// graph, which would be O(graph) per synthesized query. Campaign-sized
+// graphs stay far under the limit, so the default path's draw schedule
+// — and the seed campaign's bug-report digest — is byte-identical.
+const gtEnumLimit = 4096
+
 // SelectGroundTruth randomly selects properties from graph elements,
 // forming the expected result set (§3.1 step ②).
 func SelectGroundTruth(r *rand.Rand, g *graph.Graph, maxEntries int) *GroundTruth {
 	if maxEntries < 1 {
 		maxEntries = 1
+	}
+	if g.NumNodes()+g.NumRels() > gtEnumLimit {
+		return selectGroundTruthSampled(r, g, maxEntries)
 	}
 	var keys []graph.PropertyKey
 	for _, id := range g.NodeIDs() {
@@ -97,6 +108,49 @@ func SelectGroundTruth(r *rand.Rand, g *graph.Graph, maxEntries int) *GroundTrut
 	perm := r.Perm(len(keys))
 	for i := 0; i < n; i++ {
 		k := keys[perm[i]]
+		v, _ := g.Lookup(k)
+		gt.Entries = append(gt.Entries, GTEntry{Key: k, Value: v})
+	}
+	return gt
+}
+
+// selectGroundTruthSampled is the large-graph path: draw elements
+// uniformly and one property per drawn element, rejecting duplicate
+// keys, in O(maxEntries) instead of O(graph). Deterministic for a
+// given rand source like the enumerating path, so checkpoint replay
+// reproduces the same draws.
+func selectGroundTruthSampled(r *rand.Rand, g *graph.Graph, maxEntries int) *GroundTruth {
+	nodeIDs, relIDs := g.NodeIDs(), g.RelIDs()
+	n := 1 + r.Intn(maxEntries)
+	gt := &GroundTruth{}
+	seen := make(map[graph.PropertyKey]bool, n)
+	var names []string
+	for len(gt.Entries) < n {
+		var k graph.PropertyKey
+		var props map[string]value.Value
+		if i := r.Intn(len(nodeIDs) + len(relIDs)); i < len(nodeIDs) {
+			id := nodeIDs[i]
+			k = graph.PropertyKey{Element: id}
+			props = g.Node(id).Props
+		} else {
+			id := relIDs[i-len(nodeIDs)]
+			k = graph.PropertyKey{Element: id, IsRel: true}
+			props = g.Rel(id).Props
+		}
+		names = names[:0]
+		for name := range props {
+			names = append(names, name)
+		}
+		if len(names) == 0 {
+			continue // prop-less element (bulk rels); redraw
+		}
+		sort.Strings(names) // map order is random; the draw must not be
+		k.Name = names[r.Intn(len(names))]
+		if seen[k] {
+			continue // duplicate ⟨e,p⟩: with >gtEnumLimit elements and
+			// n ≤ maxEntries this retry terminates almost immediately
+		}
+		seen[k] = true
 		v, _ := g.Lookup(k)
 		gt.Entries = append(gt.Entries, GTEntry{Key: k, Value: v})
 	}

@@ -81,6 +81,13 @@ type Options struct {
 	// plan execution but is an optimization-pass ablation (and also
 	// forces the interpreter, since compiled plans bake the passes in).
 	DisablePlan bool
+	// DisableAdjIndex turns off index-backed relationship expansion (and
+	// the index-backed mid-chain label check) on snapshot-loaded graphs,
+	// forcing the adjacency-list scan path everywhere: the second leg of
+	// the scan-vs-index differential and the scan baseline in the
+	// large-graph bench. Indexed expansion is behaviour-preserving by
+	// construction — same rows, same order, same step accounting.
+	DisableAdjIndex bool
 	// Seed drives the execution-scoped state behind the nondeterministic
 	// functions (rand(), timestamp()): every execution derives its own
 	// RNG and logical clock from it, so instances never share mutable
@@ -116,6 +123,9 @@ type Engine struct {
 	// pstate is the compiled-plan executor's reusable scratch (frame
 	// arena, match frame, uniqueness stack); see plan.go.
 	pstate planState
+	// adjExpansions counts relationship expansions served by the
+	// adjacency index (for tests asserting the index path actually ran).
+	adjExpansions int
 }
 
 // New creates an engine with the given options. Each unset limit field
@@ -232,6 +242,11 @@ func (e *Engine) endExec() { e.params = nil; e.ctx = nil; e.exec = nil }
 // (see Options.DisablePlan). Plan execution is behaviour-preserving, so
 // this only matters for differential debugging and benchmarks.
 func (e *Engine) SetPlanExecution(enabled bool) { e.opts.DisablePlan = !enabled }
+
+// SetAdjIndex toggles index-backed match expansion on snapshot-loaded
+// graphs (see Options.DisableAdjIndex). Like plan execution it is
+// behaviour-preserving, so flipping it mid-life is always safe.
+func (e *Engine) SetAdjIndex(enabled bool) { e.opts.DisableAdjIndex = !enabled }
 
 // checkCancel polls the in-flight context every cancelCheckWindow calls.
 // It is cheap enough to sit inside the match-expansion and row loops.

@@ -104,12 +104,25 @@ func (a *frameArena) reset() {
 
 // planState is the per-engine scratch the plan executor reuses across
 // executions: the frame arena, the in-flight match frame, the
-// relationship-uniqueness stack, and the per-part orientation flags.
+// relationship-uniqueness stack, the per-part orientation flags, the
+// matcher itself, and the per-stage output row buffers.
 type planState struct {
 	arena   frameArena
 	scratch frame
 	used    []graph.ID
 	rev     []bool
+	pm      planMatcher
+	// rows0 backs the one-frame input row runPlanPart seeds each part's
+	// pipeline with.
+	rows0 [1]frame
+	// rowBufs pools the []frame output slices of the row-producing
+	// stages (MATCH, UNWIND, CALL). The k-th producing stage of an
+	// execution always takes buffer k, so buffers are disjoint within
+	// an execution; across executions reuse is safe because results
+	// copy values out of frames (buildResult) and nothing else retains
+	// them past the execution.
+	rowBufs [][]frame
+	rowSeq  int
 }
 
 func (ps *planState) ensure(w int) frame {
@@ -117,6 +130,27 @@ func (ps *planState) ensure(w int) frame {
 		ps.scratch = make([]value.Value, w)
 	}
 	return ps.scratch[:w]
+}
+
+// nextRowBuf hands out the next pooled output buffer, empty. The caller
+// returns the grown slice through keepRowBuf under the same ticket.
+func (ps *planState) nextRowBuf() (int, []frame) {
+	if ps.rowSeq == len(ps.rowBufs) {
+		ps.rowBufs = append(ps.rowBufs, nil)
+	}
+	k := ps.rowSeq
+	ps.rowSeq++
+	return k, ps.rowBufs[k][:0]
+}
+
+// keepRowBuf stores a stage's final output slice for reuse by the next
+// execution. Oversized buffers are dropped, bounding retained memory
+// the same way arenaMaxRetain bounds the arena.
+func (ps *planState) keepRowBuf(k int, b []frame) {
+	if cap(b) > arenaChunkSlots {
+		b = nil
+	}
+	ps.rowBufs[k] = b
 }
 
 // planCtx refreshes the engine's scratch eval context for compiled
@@ -138,6 +172,10 @@ func (e *Engine) planCtx(f frame) *eval.Ctx {
 func (e *Engine) runPlan(p *queryPlan) (*Result, error) {
 	e.planTrace = e.planTrace[:0]
 	e.pstate.arena.reset()
+	e.pstate.rowSeq = 0
+	if len(e.pstate.rowBufs) > arenaMaxRetain {
+		e.pstate.rowBufs = e.pstate.rowBufs[:arenaMaxRetain:arenaMaxRetain]
+	}
 	var out *Result
 	for i, pp := range p.parts {
 		r, err := e.runPlanPart(pp)
@@ -162,7 +200,9 @@ func (e *Engine) runPlan(p *queryPlan) (*Result, error) {
 // runPlanPart executes one part's stage pipeline, mirroring
 // executeSingle's per-clause cancellation poll and row limit.
 func (e *Engine) runPlanPart(pp *partPlan) (*Result, error) {
-	rows := []frame{e.pstate.arena.alloc(pp.width)}
+	ps := &e.pstate
+	ps.rows0[0] = ps.arena.alloc(pp.width)
+	rows := ps.rows0[:1:1]
 	var result *Result
 	for _, st := range pp.stages {
 		if err := e.checkCancelNow(); err != nil {
@@ -303,6 +343,7 @@ type planMatcher struct {
 	e        *Engine
 	ctx      *eval.Ctx
 	g        *graph.Graph
+	adj      *graph.AdjIndex // base-snapshot adjacency index, nil = scan only
 	m        *cMatch
 	f        frame
 	w        int
@@ -336,10 +377,22 @@ func (st *cMatch) run(e *Engine, in []frame) ([]frame, *Result, error) {
 			e.planTrace = append(e.planTrace, "ReverseTraversal")
 		}
 	}
-	pm := &planMatcher{
+	g := e.store.Graph()
+	var adj *graph.AdjIndex
+	if !e.opts.DisableAdjIndex {
+		adj = g.BaseAdjIndex() // nil unless snapshot-backed
+	}
+	// The matcher and its output buffer live in planState: one matcher
+	// struct per engine instead of one per MATCH execution, and the
+	// output slice of the k-th producing stage is recycled across
+	// executions (see nextRowBuf).
+	bufK, out := ps.nextRowBuf()
+	pm := &ps.pm
+	*pm = planMatcher{
 		e:        e,
 		ctx:      e.planCtx(scratch),
-		g:        e.store.Graph(),
+		g:        g,
+		adj:      adj,
 		m:        st,
 		f:        scratch,
 		w:        w,
@@ -349,6 +402,7 @@ func (st *cMatch) run(e *Engine, in []frame) ([]frame, *Result, error) {
 		used:     ps.used[:0],
 		maxSteps: e.opts.Limits.MaxMatchSteps,
 		maxRows:  e.opts.Limits.MaxRows,
+		out:      out,
 		arena:    &ps.arena,
 	}
 	for _, r := range in {
@@ -380,6 +434,7 @@ func (st *cMatch) run(e *Engine, in []frame) ([]frame, *Result, error) {
 		}
 	}
 	ps.used = pm.used[:0]
+	ps.keepRowBuf(bufK, pm.out)
 	return pm.out, nil, nil
 }
 
@@ -513,6 +568,19 @@ func (pm *planMatcher) bindNode0(ch *cChain, pi int, id graph.ID) error {
 }
 
 func (pm *planMatcher) checkNode(n *cNode, id graph.ID) (bool, error) {
+	if pm.adj != nil && len(n.labels) > 0 && len(n.props.keys) == 0 {
+		// Label-only check through the label index (base + store
+		// deltas): membership implies existence — deleted nodes are
+		// unindexed — so the node table is never touched. Gated with
+		// the adjacency index so DisableAdjIndex yields a pure-scan
+		// engine for the differential.
+		for _, l := range n.labels {
+			if !pm.e.store.NodeHasLabel(l, id) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
 	gn := pm.g.Node(id)
 	if gn == nil {
 		return false, nil
@@ -539,8 +607,15 @@ func (pm *planMatcher) checkProps(p *cProps, props map[string]value.Value) (bool
 	return true, nil
 }
 
-// rel expands relationship i of the chain from the bound node `from`.
+// rel expands relationship i of the chain from the bound node `from`:
+// through the adjacency index when the pattern is typed and the index
+// covers the node, otherwise by scanning the full adjacency lists.
 func (pm *planMatcher) rel(ch *cChain, i, pi int, from graph.ID) error {
+	if pm.adj != nil && len(ch.rels[i].types) > 0 {
+		if handled, err := pm.relIndexed(ch, i, pi, from); handled {
+			return err
+		}
+	}
 	switch ch.rels[i].dir {
 	case ast.DirRight:
 		for _, rid := range pm.g.Out(from) {
@@ -586,6 +661,14 @@ func (pm *planMatcher) tryRel(ch *cChain, i, pi int, rid, other graph.ID) error 
 	if err != nil || !ok {
 		return err
 	}
+	return pm.relBind(ch, i, pi, rid, other)
+}
+
+// relBind finishes candidate acceptance after type/property filtering:
+// bound-variable equality, relationship uniqueness, slot binding, and
+// the chain tail. Shared by the scan and indexed expansion paths.
+func (pm *planMatcher) relBind(ch *cChain, i, pi int, rid, other graph.ID) error {
+	r := &ch.rels[i]
 	pushed := false
 	if r.bound {
 		if v := pm.f[r.slot]; v.Kind() != value.KindRel || v.EntityID() != rid {
@@ -605,11 +688,178 @@ func (pm *planMatcher) tryRel(ch *cChain, i, pi int, rid, other graph.ID) error 
 			pm.f[r.slot] = value.Rel(rid)
 		}
 	}
-	err = pm.relTail(ch, i, pi, other)
+	err := pm.relTail(ch, i, pi, other)
 	if pushed {
 		pm.used = pm.used[:len(pm.used)-1]
 	}
 	return err
+}
+
+// tryRelIndexed is tryRel for an index-bucket candidate: the bucket key
+// guarantees the type matches, and the entry carries the far endpoint,
+// so the relationship record is fetched (overlay-resolving, for rels
+// whose properties were mutated after seal) only when the pattern has
+// inline properties to check.
+func (pm *planMatcher) tryRelIndexed(ch *cChain, i, pi int, rid, other graph.ID) error {
+	if err := pm.step(); err != nil {
+		return err
+	}
+	r := &ch.rels[i]
+	if len(r.props.keys) > 0 {
+		ok, err := pm.checkProps(&r.props, pm.g.Rel(rid).Props)
+		if err != nil || !ok {
+			return err
+		}
+	}
+	return pm.relBind(ch, i, pi, rid, other)
+}
+
+// skipRun charges n skipped (type-mismatched) scan positions to the
+// match-step budget in one add. The scan path charges them one step()
+// each, but a mismatched candidate has no effect besides its step, so
+// one limit check after the run errors at exactly the boundary the
+// scan would have hit — the positions past the limit would have done
+// nothing anyway. Only the cancellation-poll cadence differs, which is
+// not observable behaviour (polling is wall-clock dependent already).
+func (pm *planMatcher) skipRun(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	pm.steps += n
+	if pm.steps > pm.maxSteps {
+		return &ErrResourceLimit{What: "match steps"}
+	}
+	return pm.e.checkCancel()
+}
+
+// relIndexed expands relationship i through the base snapshot's
+// adjacency index. It handles the expansion only when the overlay does
+// not shadow the node's adjacency in any direction the pattern reads;
+// otherwise it reports handled == false and rel falls back to the
+// scan, which is always correct (an overlay entry is the node's
+// complete adjacency list). The index walk visits exactly the scan's
+// candidates in exactly its order, with mismatched positions charged
+// to the step budget via skipRun, so the two paths are observationally
+// identical — the scan-vs-index differential test pins this.
+func (pm *planMatcher) relIndexed(ch *cChain, i, pi int, from graph.ID) (bool, error) {
+	switch ch.rels[i].dir {
+	case ast.DirRight:
+		if pm.g.AdjShadowed(from, true) {
+			return false, nil
+		}
+		pm.e.adjExpansions++
+		return true, pm.expandIndexed(ch, i, pi, from, true, false)
+	case ast.DirLeft:
+		if pm.g.AdjShadowed(from, false) {
+			return false, nil
+		}
+		pm.e.adjExpansions++
+		return true, pm.expandIndexed(ch, i, pi, from, false, false)
+	default: // undirected: Out pass, then In pass skipping self-loops
+		if pm.g.AdjShadowed(from, true) || pm.g.AdjShadowed(from, false) {
+			return false, nil
+		}
+		pm.e.adjExpansions++
+		if err := pm.expandIndexed(ch, i, pi, from, true, false); err != nil {
+			return true, err
+		}
+		return true, pm.expandIndexed(ch, i, pi, from, false, true)
+	}
+}
+
+// expandIndexed runs one direction of an indexed expansion. noSelf
+// marks the undirected In pass, which skips self-loops (already
+// visited via Out) and therefore accounts steps in NSPos space — the
+// in-list ordinals with self-loops compacted out, matching the scan's
+// continue-before-step.
+func (pm *planMatcher) expandIndexed(ch *cChain, i, pi int, from graph.ID, out, noSelf bool) error {
+	entries := pm.adjEntries(from, ch.rels[i].types, out)
+	var total int
+	if out {
+		total = len(pm.g.Out(from))
+	} else {
+		total = len(pm.g.In(from))
+		if noSelf {
+			total -= pm.adj.SelfLoopIn(from)
+		}
+	}
+	prev := int32(-1)
+	for k := range entries {
+		e := &entries[k]
+		pos := e.Pos
+		if noSelf {
+			pos = e.NSPos
+			if pos < 0 {
+				continue // self-loop: the scan skips it before stepping
+			}
+		}
+		if err := pm.skipRun(int(pos - prev - 1)); err != nil {
+			return err
+		}
+		prev = pos
+		if err := pm.tryRelIndexed(ch, i, pi, e.Rel, e.Other); err != nil {
+			return err
+		}
+	}
+	return pm.skipRun(total - 1 - int(prev))
+}
+
+// adjEntries returns the index entries for the node across the
+// pattern's admissible types, Pos-ascending. One type (the common
+// case) returns the shared bucket directly, allocation-free; several
+// merge their buckets by position into a fresh slice, which
+// reconstructs full adjacency-list order because the buckets partition
+// the list by type.
+func (pm *planMatcher) adjEntries(from graph.ID, types []string, out bool) []graph.AdjEntry {
+	if out {
+		if len(types) == 1 {
+			return pm.adj.Out(from, types[0])
+		}
+		var merged []graph.AdjEntry
+		for _, t := range types {
+			merged = mergeAdjEntries(merged, pm.adj.Out(from, t))
+		}
+		return merged
+	}
+	if len(types) == 1 {
+		return pm.adj.In(from, types[0])
+	}
+	var merged []graph.AdjEntry
+	for _, t := range types {
+		merged = mergeAdjEntries(merged, pm.adj.In(from, t))
+	}
+	return merged
+}
+
+// mergeAdjEntries merges two Pos-sorted runs into a fresh slice,
+// mutating neither input (a may be a previous merge result, b is
+// always a shared index bucket). Equal positions — a type repeated in
+// the pattern — collapse to one entry, as typeMatches visits each
+// relationship once however many alternatives name its type.
+func mergeAdjEntries(a, b []graph.AdjEntry) []graph.AdjEntry {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	m := make([]graph.AdjEntry, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Pos < b[j].Pos:
+			m = append(m, a[i])
+			i++
+		case a[i].Pos > b[j].Pos:
+			m = append(m, b[j])
+			j++
+		default:
+			m = append(m, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	m = append(m, a[i:]...)
+	return append(m, b[j:]...)
 }
 
 func (pm *planMatcher) relTail(ch *cChain, i, pi int, other graph.ID) error {
@@ -665,8 +915,8 @@ type cUnwind struct {
 
 func (st *cUnwind) run(e *Engine, in []frame) ([]frame, *Result, error) {
 	ctx := e.planCtx(nil)
-	var out []frame
 	ps := &e.pstate
+	bufK, out := ps.nextRowBuf()
 	for _, r := range in {
 		if err := e.checkCancel(); err != nil {
 			return nil, nil, err
@@ -690,6 +940,7 @@ func (st *cUnwind) run(e *Engine, in []frame) ([]frame, *Result, error) {
 			return nil, nil, fmt.Errorf("type error: UNWIND expects a list, got %s", v.Kind())
 		}
 	}
+	ps.keepRowBuf(bufK, out)
 	return out, nil, nil
 }
 
@@ -733,8 +984,8 @@ func (st *cCall) run(e *Engine, in []frame) ([]frame, *Result, error) {
 		// compileCallStage only lowers the three known procedures.
 		return nil, nil, fmt.Errorf("unknown procedure %s", st.proc)
 	}
-	var out []frame
 	ps := &e.pstate
+	bufK, out := ps.nextRowBuf()
 	for _, r := range in {
 		for _, v := range vals {
 			nf := ps.arena.alloc(len(r))
@@ -743,6 +994,7 @@ func (st *cCall) run(e *Engine, in []frame) ([]frame, *Result, error) {
 			out = append(out, nf)
 		}
 	}
+	ps.keepRowBuf(bufK, out)
 	if st.last {
 		res := &Result{Columns: []string{st.col}}
 		for _, r := range out {

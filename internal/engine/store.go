@@ -318,6 +318,27 @@ func (s *Store) HasIndex(label, prop string) bool {
 	return s.base.PropDeclared(graph.IndexSpec{Label: label, Property: prop})
 }
 
+// NodeHasLabel reports whether node id currently carries the label,
+// resolving this store's pending deltas over the immutable base index.
+// Index membership already implies existence — deleted nodes are
+// unindexed (see unindexNode) — so a true result never needs a node
+// fetch. This is the mid-chain analogue of NodesByLabel: checkNode uses
+// it to test a label on an already-bound candidate without touching the
+// node table.
+func (s *Store) NodeHasLabel(label string, id graph.ID) bool {
+	if del := s.labelDel[label]; del != nil {
+		if _, dead := del[id]; dead {
+			return false
+		}
+	}
+	if add := s.labelAdd[label]; add != nil {
+		if _, ok := add[id]; ok {
+			return true
+		}
+	}
+	return s.base.HasLabelID(label, id)
+}
+
 // CreateNode creates a node with the given labels and properties.
 func (s *Store) CreateNode(labels []string, props map[string]value.Value) *graph.Node {
 	s.dirty = true

@@ -56,6 +56,16 @@ func BenchRegress(w io.Writer, currentPath string, previousPaths []string) error
 		failures = append(failures, fmt.Sprintf(
 			"%s: compiled-plan results differ from the interpreter's", currentPath))
 	}
+	// So is the index-vs-scan differential of the large-graph leg:
+	// index-backed expansion must reproduce the scan path's results.
+	if lg := cur.LargeGraph; lg != nil {
+		fmt.Fprintf(w, "large graph: %.0f nodes/s bulk load, index vs scan %.1fx, identical results: %v\n",
+			lg.NodesPerSec, lg.IndexVsScan, lg.IdenticalResults)
+		if !lg.IdenticalResults {
+			failures = append(failures, fmt.Sprintf(
+				"%s: index-backed expansion results differ from the scan path's", currentPath))
+		}
+	}
 	for _, p := range previousPaths {
 		prev, err := ReadBenchJSON(p)
 		if err != nil {
@@ -85,9 +95,17 @@ func BenchRegress(w io.Writer, currentPath string, previousPaths []string) error
 				curEff = cur.Speedup / float64(cur.ParallelWorkers)
 			}
 			if prevEff > 0 && curEff < 0.9*prevEff {
-				failures = append(failures, fmt.Sprintf(
-					"%s: parallel efficiency regressed to %.0f%% vs %.0f%% in %s (%d workers)",
-					currentPath, curEff*100, prevEff*100, p, cur.ParallelWorkers))
+				// On a single-CPU host the parallel leg is pure
+				// scheduling overhead — efficiency there measures the
+				// kernel, not the executor. Annotate, don't gate.
+				if cur.GOMAXPROCS == 1 {
+					fmt.Fprintf(w, "note: parallel efficiency %.0f%% vs %.0f%% in %s — single-CPU host, annotated but not gated\n",
+						curEff*100, prevEff*100, p)
+				} else {
+					failures = append(failures, fmt.Sprintf(
+						"%s: parallel efficiency regressed to %.0f%% vs %.0f%% in %s (%d workers)",
+						currentPath, curEff*100, prevEff*100, p, cur.ParallelWorkers))
+				}
 			}
 		}
 		ratio := 0.0
@@ -116,6 +134,26 @@ func BenchRegress(w io.Writer, currentPath string, previousPaths []string) error
 					"%s: campaign allocations regressed to %.0f/iteration vs %.0f in %s (gate is +10%%)",
 					currentPath, cur.CampaignAllocsPerIter, prev.CampaignAllocsPerIter, p))
 				fmt.Fprint(w, "  ALLOC REGRESSION")
+			}
+		}
+		// Per-hop p95 latency gates against any baseline carrying the
+		// large-graph block: the leg builds the same fixed-seed graph
+		// regardless of campaign seed/iterations, so latencies are
+		// comparable across all baselines. The 1.5x margin absorbs
+		// shared-runner noise on microsecond quantities.
+		if prev.LargeGraph != nil && cur.LargeGraph != nil {
+			for _, ph := range prev.LargeGraph.Hops {
+				if ph.P95Micros <= 0 {
+					continue
+				}
+				for _, ch := range cur.LargeGraph.Hops {
+					if ch.Hops == ph.Hops && ch.P95Micros > 1.5*ph.P95Micros {
+						failures = append(failures, fmt.Sprintf(
+							"%s: %d-hop match p95 regressed to %.1fus vs %.1fus in %s (gate is 1.5x)",
+							currentPath, ch.Hops, ch.P95Micros, ph.P95Micros, p))
+						fmt.Fprint(w, "  HOP-LATENCY REGRESSION")
+					}
+				}
 			}
 		}
 		if comparable {

@@ -81,3 +81,99 @@ func TestBenchRegressGates(t *testing.T) {
 		t.Fatal("IdenticalBugSets=false must fail")
 	}
 }
+
+func TestBenchRegressLargeGraphGates(t *testing.T) {
+	dir := t.TempDir()
+	lg := func(p95 ...float64) *LargeGraphBenchResult {
+		r := &LargeGraphBenchResult{NodesPerSec: 150000, IndexVsScan: 30, IdenticalResults: true}
+		for i, v := range p95 {
+			r.Hops = append(r.Hops, HopLatency{Hops: i + 1, Queries: 48, P50Micros: v / 2, P95Micros: v})
+		}
+		return r
+	}
+	prev := BenchResult{
+		Seed: 1, Iterations: 20,
+		BaselineIterSec: 100, ParallelWorkers: 2, ParallelIterSec: 90,
+		Findings: 35, IdenticalBugSets: true, BugReportFNV: "abc",
+		LargeGraph: lg(3, 5, 9),
+	}
+	prevPath := writeBench(t, dir, "BENCH_lg.json", prev)
+
+	// Matching latencies pass.
+	same := prev
+	samePath := writeBench(t, dir, "BENCH_same.json", same)
+	if err := BenchRegress(io.Discard, samePath, []string{prevPath}); err != nil {
+		t.Fatalf("matching large-graph results must pass: %v", err)
+	}
+
+	// A >1.5x p95 regression at any hop depth fails.
+	slow := prev
+	slow.LargeGraph = lg(3, 5, 15)
+	slowPath := writeBench(t, dir, "BENCH_lgslow.json", slow)
+	err := BenchRegress(io.Discard, slowPath, []string{prevPath})
+	if err == nil || !strings.Contains(err.Error(), "3-hop match p95 regressed") {
+		t.Fatalf("hop-latency regression must fail, got %v", err)
+	}
+
+	// Latencies inside the margin pass, and a baseline without the
+	// block never gates hops.
+	near := prev
+	near.LargeGraph = lg(4.4, 7.4, 13.4)
+	nearPath := writeBench(t, dir, "BENCH_lgnear.json", near)
+	if err := BenchRegress(io.Discard, nearPath, []string{prevPath}); err != nil {
+		t.Fatalf("in-margin latency drift must pass: %v", err)
+	}
+	old := prev
+	old.LargeGraph = nil
+	oldPath := writeBench(t, dir, "BENCH_old.json", old)
+	if err := BenchRegress(io.Discard, slowPath, []string{oldPath}); err != nil {
+		t.Fatalf("baseline without large-graph block must not gate hops: %v", err)
+	}
+
+	// The current run's own index-vs-scan differential is absolute.
+	div := prev
+	div.LargeGraph = lg(3, 5, 9)
+	div.LargeGraph.IdenticalResults = false
+	divPath := writeBench(t, dir, "BENCH_lgdiv.json", div)
+	err = BenchRegress(io.Discard, divPath, nil)
+	if err == nil || !strings.Contains(err.Error(), "index-backed expansion results differ") {
+		t.Fatalf("index-vs-scan divergence must fail, got %v", err)
+	}
+}
+
+func TestBenchRegressSingleCPUEfficiencyAnnotated(t *testing.T) {
+	dir := t.TempDir()
+	prev := BenchResult{
+		Seed: 1, Iterations: 20, GOMAXPROCS: 2,
+		BaselineIterSec: 100, ParallelWorkers: 2, ParallelIterSec: 180,
+		Speedup: 1.8, ParallelEfficiency: 0.9,
+		Findings: 35, IdenticalBugSets: true, BugReportFNV: "abc",
+	}
+	prevPath := writeBench(t, dir, "BENCH_eff.json", prev)
+
+	// Halved efficiency on a multi-CPU host fails...
+	cur := prev
+	cur.ParallelIterSec = 95
+	cur.Speedup = 0.95
+	cur.ParallelEfficiency = 0.475
+	curPath := writeBench(t, dir, "BENCH_effcur.json", cur)
+	err := BenchRegress(io.Discard, curPath, []string{prevPath})
+	if err == nil || !strings.Contains(err.Error(), "parallel efficiency regressed") {
+		t.Fatalf("multi-CPU efficiency regression must fail, got %v", err)
+	}
+
+	// ...but on a single-CPU host it is annotated, not gated. The
+	// throughput leg is kept inside its own gate so only efficiency
+	// could fail.
+	oneCPU := cur
+	oneCPU.GOMAXPROCS = 1
+	oneCPU.ParallelIterSec = 163
+	ocPath := writeBench(t, dir, "BENCH_effoc.json", oneCPU)
+	var buf strings.Builder
+	if err := BenchRegress(&buf, ocPath, []string{prevPath}); err != nil {
+		t.Fatalf("single-CPU efficiency drop must not gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "single-CPU host") {
+		t.Fatalf("expected a single-CPU annotation, got:\n%s", buf.String())
+	}
+}

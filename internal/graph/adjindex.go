@@ -1,0 +1,253 @@
+package graph
+
+// Adjacency index: per-node candidate relationship lists keyed by
+// (direction, relationship type), built once per sealed snapshot. Match
+// expansion over a typed relationship pattern walks the (node, type)
+// bucket instead of scanning the node's full adjacency list, so hub
+// nodes with thousands of relationships cost only as much as the
+// matching subset. The buckets preserve enough positional information
+// (Pos/NSPos) for the engine to reconstruct the scan path's candidate
+// order and match-step accounting exactly, which is what keeps indexed
+// expansion observationally identical to the scan it replaces.
+
+// AdjEntry is one indexed relationship incident to a node: the
+// relationship ID, the far endpoint (End for out entries, Start for in
+// entries), and the entry's position in the node's full adjacency list.
+type AdjEntry struct {
+	Rel   ID
+	Other ID
+	// Pos is the index of Rel in the node's full out (or in) adjacency
+	// list — the position a scan of that list would visit it at.
+	Pos int32
+	// NSPos is, for in entries, the entry's ordinal among the in-list's
+	// non-self-loop entries, or -1 for self-loops. The undirected In
+	// pass skips self-loops before any other per-candidate work, so its
+	// step accounting runs in this compacted position space. For out
+	// entries NSPos == Pos.
+	NSPos int32
+}
+
+// adjKey addresses one (node, relationship type) bucket; the type is
+// interned to a small index so bucket lookups and the build's bucket
+// assigns hash two integers instead of a string.
+type adjKey struct {
+	node ID
+	ti   int32
+}
+
+// AdjIndex is the per-snapshot adjacency index. Buckets hold entries in
+// ascending Pos order (the build walks each adjacency list in order),
+// so a typed expansion visits candidates exactly as the full-list scan
+// would.
+type AdjIndex struct {
+	// typIdx interns every relationship type present in the snapshot;
+	// types absent from it have no entries anywhere.
+	typIdx map[string]int32
+	out    map[adjKey][]AdjEntry
+	in     map[adjKey][]AdjEntry
+	// selfIn counts self-loop entries in each node's in list (sparse:
+	// nodes without self-loops are absent).
+	selfIn map[ID]int32
+}
+
+// Out returns the node's out entries of the given type, Pos-ascending.
+// The slice is shared and read-only.
+func (ix *AdjIndex) Out(n ID, typ string) []AdjEntry {
+	if ti, ok := ix.typIdx[typ]; ok {
+		return ix.out[adjKey{n, ti}]
+	}
+	return nil
+}
+
+// In returns the node's in entries of the given type, Pos-ascending
+// (shared, read-only).
+func (ix *AdjIndex) In(n ID, typ string) []AdjEntry {
+	if ti, ok := ix.typIdx[typ]; ok {
+		return ix.in[adjKey{n, ti}]
+	}
+	return nil
+}
+
+// SelfLoopIn returns how many entries of the node's in list are
+// self-loops.
+func (ix *AdjIndex) SelfLoopIn(n ID) int {
+	return int(ix.selfIn[n])
+}
+
+// adjBuilder carries the scratch state of one index build: the type
+// table (relationship types interned to small indexes) and per-list
+// scratch arrays, so grouping a node's adjacency list by type costs no
+// allocation beyond the shared entry backing array. Every relationship
+// appears in exactly one out list and one in list, so each direction's
+// entries total len(s.rels) and are carved from a single slab — at bulk
+// scale, growing one bucket slice per entry is the dominant build cost.
+type adjBuilder struct {
+	typIdx map[string]int32
+	counts []int32 // per-type entry count of the current list
+	starts []int32 // per-type fill cursor of the current list
+	tis    []int32 // per-entry type index of the current list
+	others []ID    // per-entry far endpoint of the current list
+	selfs  []bool  // per-entry self-loop flag (in lists only)
+
+	// Dense rel-ID fast path: when the snapshot's relationship IDs form
+	// a contiguous range (always true for bulk-generated graphs), meta
+	// holds each relationship's endpoints and interned type at rid -
+	// relBase, replacing two hashed lookups per adjacency entry into a
+	// snapshot-sized map with one indexed read.
+	meta    []relMeta
+	relBase ID
+}
+
+type relMeta struct {
+	start, end ID
+	ti         int32
+}
+
+func (b *adjBuilder) idxOf(typ string) int32 {
+	if i, ok := b.typIdx[typ]; ok {
+		return i
+	}
+	i := int32(len(b.typIdx))
+	b.typIdx[typ] = i
+	b.counts = append(b.counts, 0)
+	b.starts = append(b.starts, 0)
+	return i
+}
+
+func (b *adjBuilder) scratch(n int) {
+	if cap(b.tis) < n {
+		b.tis = make([]int32, n)
+		b.others = make([]ID, n)
+		b.selfs = make([]bool, n)
+	}
+	b.tis = b.tis[:n]
+	b.others = b.others[:n]
+	b.selfs = b.selfs[:n]
+}
+
+// carve groups one node's adjacency list by relationship type into
+// subslices of back (filled in list order, so buckets ascend in Pos)
+// and installs the buckets. in selects the in-list entry shape: Other =
+// Start, self-loops flagged, NSPos compacted.
+func (b *adjBuilder) carve(ix *AdjIndex, s *Snapshot, n ID, list []ID, back []AdjEntry, in bool) []AdjEntry {
+	b.scratch(len(list))
+	for pos, rid := range list {
+		var ti int32
+		var start, end ID
+		if b.meta != nil {
+			m := &b.meta[rid-b.relBase]
+			ti, start, end = m.ti, m.start, m.end
+		} else {
+			r := s.rels[rid]
+			ti, start, end = b.idxOf(r.Type), r.Start, r.End
+		}
+		b.tis[pos] = ti
+		b.counts[ti]++
+		if in {
+			b.others[pos] = start
+			b.selfs[pos] = start == end
+		} else {
+			b.others[pos] = end
+		}
+	}
+	base := len(back)
+	back = back[:base+len(list)]
+	off := int32(0)
+	for ti, c := range b.counts {
+		b.starts[ti] = off
+		off += c
+	}
+	ns := int32(0)
+	for pos, rid := range list {
+		ti := b.tis[pos]
+		e := AdjEntry{Rel: rid, Other: b.others[pos], Pos: int32(pos), NSPos: int32(pos)}
+		if in {
+			if b.selfs[pos] {
+				e.NSPos = -1
+				ix.selfIn[n]++
+			} else {
+				e.NSPos = ns
+				ns++
+			}
+		}
+		back[base+int(b.starts[ti])] = e
+		b.starts[ti]++
+	}
+	dst := ix.out
+	if in {
+		dst = ix.in
+	}
+	for ti, c := range b.counts {
+		if c > 0 {
+			end := base + int(b.starts[ti])
+			dst[adjKey{n, int32(ti)}] = back[end-int(c) : end : end]
+			b.counts[ti] = 0
+		}
+	}
+	return back
+}
+
+// buildAdjIndex indexes every adjacency list of the snapshot: one pass
+// over each direction's lists, grouping each list by relationship type
+// in list order.
+func buildAdjIndex(s *Snapshot) *AdjIndex {
+	ix := &AdjIndex{
+		typIdx: make(map[string]int32, 16),
+		out:    make(map[adjKey][]AdjEntry, len(s.out)),
+		in:     make(map[adjKey][]AdjEntry, len(s.in)),
+		selfIn: make(map[ID]int32),
+	}
+	b := &adjBuilder{typIdx: ix.typIdx}
+	if n := len(s.relIDs); n > 0 && int(s.relIDs[n-1]-s.relIDs[0]) == n-1 {
+		b.relBase = s.relIDs[0]
+		b.meta = make([]relMeta, n)
+		for rid, r := range s.rels {
+			b.meta[rid-b.relBase] = relMeta{start: r.Start, end: r.End, ti: b.idxOf(r.Type)}
+		}
+	}
+	outBack := make([]AdjEntry, 0, len(s.rels))
+	inBack := make([]AdjEntry, 0, len(s.rels))
+	for _, n := range s.nodeIDs {
+		if list := s.out[n]; len(list) > 0 {
+			outBack = b.carve(ix, s, n, list, outBack, false)
+		}
+		if list := s.in[n]; len(list) > 0 {
+			inBack = b.carve(ix, s, n, list, inBack, true)
+		}
+	}
+	return ix
+}
+
+// AdjIndex returns the snapshot's adjacency index, building it on the
+// first request. Safe for concurrent use; every store loaded from this
+// snapshot shares one build.
+func (s *Snapshot) AdjIndex() *AdjIndex {
+	s.adjOnce.Do(func() { s.adj = buildAdjIndex(s) })
+	return s.adj
+}
+
+// BaseAdjIndex returns the adjacency index of the graph's base
+// snapshot, or nil for a plain (unsealed) graph. Overlay writes never
+// invalidate it: a relationship's Type/Start/End are immutable, and any
+// overlay adjacency entry shadows the base list entirely (see
+// AdjShadowed), so base-index hits are valid exactly when the overlay
+// holds no entry for the node.
+func (g *Graph) BaseAdjIndex() *AdjIndex {
+	if g.base == nil {
+		return nil
+	}
+	return g.base.AdjIndex()
+}
+
+// AdjShadowed reports whether the overlay holds an adjacency entry for
+// the node in the given direction — including nil tombstones. When it
+// does, the overlay entry is the node's complete adjacency list and the
+// base index must not be consulted for it.
+func (g *Graph) AdjShadowed(n ID, out bool) bool {
+	if out {
+		_, ok := g.out[n]
+		return ok
+	}
+	_, ok := g.in[n]
+	return ok
+}

@@ -81,6 +81,11 @@ type GenConfig struct {
 	MaxLabelsPerNode int
 	MaxPropsPerElem  int
 	SelfLoopPercent  int // percentage of relationships allowed to be self-loops
+	// Scale, when positive, switches Generate to the bulk generator
+	// (see bulk.go): a power-law-degree graph of exactly Scale nodes
+	// built in batch, sized for the large-graph workloads. Zero keeps
+	// the paper's small-graph generator with its exact draw schedule.
+	Scale int
 }
 
 // DefaultGenConfig returns the paper's configuration.
@@ -127,6 +132,12 @@ func (c GenConfig) withDefaults() GenConfig {
 // implementing step ① of the GQS workflow. Generation is deterministic
 // for a given rand source.
 func Generate(r *rand.Rand, cfg GenConfig) (*Graph, *Schema) {
+	if cfg.Scale > 0 {
+		// Dispatch before any draw from r so the default path's draw
+		// schedule — and every campaign fingerprint derived from it —
+		// is untouched by the bulk generator's existence.
+		return generateBulk(r, cfg)
+	}
 	cfg = cfg.withDefaults()
 	s := &Schema{Props: make(map[string]PropType, cfg.NumProps)}
 	for i := 0; i < cfg.NumLabels; i++ {

@@ -215,6 +215,11 @@ func (g *Graph) MutableNode(id ID) *Node {
 	}
 	g.cow.NodeCopies++
 	cp := &Node{ID: n.ID, Labels: slices.Clone(n.Labels), Props: maps.Clone(n.Props)}
+	if cp.Props == nil {
+		// Bulk-generated elements may carry no properties; the copy must
+		// still accept writes.
+		cp.Props = map[string]value.Value{}
+	}
 	g.nodes[id] = cp
 	return cp
 }
@@ -230,6 +235,9 @@ func (g *Graph) MutableRel(id ID) *Rel {
 	}
 	g.cow.RelCopies++
 	cp := &Rel{ID: r.ID, Type: r.Type, Start: r.Start, End: r.End, Props: maps.Clone(r.Props)}
+	if cp.Props == nil {
+		cp.Props = map[string]value.Value{}
+	}
 	g.rels[id] = cp
 	return cp
 }

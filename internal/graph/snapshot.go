@@ -32,6 +32,11 @@ type Snapshot struct {
 	// request and shared by every store loaded from this snapshot.
 	mu  sync.Mutex
 	idx map[*Schema]*Index
+
+	// adj caches the adjacency index (schema-independent), built on
+	// first request — see AdjIndex in adjindex.go.
+	adjOnce sync.Once
+	adj     *AdjIndex
 }
 
 // NumNodes returns the number of nodes in the snapshot.
